@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper at a reduced
+scale so the whole suite completes in minutes; the paper-scale runs are
+available through each experiment module's CLI (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core.llmsched import LLMSchedConfig
+from repro.experiments.runner import ExperimentSettings
+
+
+#: Reduced-scale settings shared by all benchmark runs: fewer profiling jobs
+#: keeps the offline phase fast without changing the comparison's shape.
+BENCH_SETTINGS = ExperimentSettings(profile_jobs=80, prior_samples=50, llmsched=LLMSchedConfig())
+
+#: Job counts used by the benchmark variants of the paper-scale experiments.
+BENCH_NUM_JOBS = 100
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    return BENCH_SETTINGS

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Fig. 10 — ablation study."""
+
+from conftest import BENCH_NUM_JOBS, BENCH_SETTINGS
+
+from repro.experiments import fig10_ablation
+from repro.workloads.mixtures import WorkloadType
+
+
+def test_bench_fig10_ablation(benchmark):
+    rows = benchmark.pedantic(
+        fig10_ablation.run,
+        kwargs={
+            "num_jobs": BENCH_NUM_JOBS,
+            "workload_types": (WorkloadType.MIXED, WorkloadType.PREDEFINED),
+            "settings": BENCH_SETTINGS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 2
+    for row in rows:
+        assert row["llmsched_avg_jct"] > 0
+        # Paper Fig. 10: removing the Bayesian network hurts — the historical
+        # mean estimator cannot track per-job deviations.
+        assert row["wo_bn_norm"] > 0.9
+        assert row["wo_uncertainty_norm"] > 0.0

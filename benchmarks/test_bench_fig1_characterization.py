@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 1 — workload characterisation."""
+
+from repro.experiments import fig1_characterization
+
+
+def test_bench_fig1_characterization(benchmark):
+    results = benchmark.pedantic(
+        fig1_characterization.run, kwargs={"n_jobs": 300, "seed": 0}, rounds=1, iterations=1
+    )
+    fig1a = results["fig1a_job_duration"]
+    # Paper Fig. 1a: widely spread job durations (roughly 10s to 300s).
+    assert fig1a["max"] > 4 * fig1a["min"]
+    assert abs(sum(fig1a["probability"]) - 1.0) < 1e-6
+    # Paper Fig. 1b: chain lengths between 3 and 15.
+    fig1b = results["fig1b_chain_length"]
+    assert fig1b["min"] >= 3
+    assert fig1b["max"] <= 15
+    # Paper Fig. 1c: 1 to 8 generated stages.
+    fig1c = results["fig1c_generated_stages"]
+    assert fig1c["min"] >= 1
+    assert fig1c["max"] <= 8

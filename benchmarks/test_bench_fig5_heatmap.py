@@ -1,0 +1,19 @@
+"""Benchmark regenerating Fig. 5 — inter-stage correlation heatmaps."""
+
+from repro.experiments import fig5_heatmap
+
+
+def test_bench_fig5_heatmap(benchmark):
+    matrices = benchmark.pedantic(
+        fig5_heatmap.run, kwargs={"n_jobs": 300, "seed": 0}, rounds=1, iterations=1
+    )
+    sorting = matrices["sequence_sorting"]
+    codegen = matrices["code_generation"]
+    # Paper Fig. 5a: the split stage correlates strongly with the sort stages.
+    assert sorting["ss_split"]["ss_sort_1"] > 0.4
+    assert sorting["ss_split"]["ss_merge"] > 0.4
+    # Paper Fig. 5b: stages of the same repair iteration correlate strongly
+    # (a reflex stage implies the following code-gen and exec stages run).
+    assert codegen["cg_reflex_1"]["cg_codegen_1"] > 0.4
+    # Diagonals are exactly 1.
+    assert sorting["ss_split"]["ss_split"] == 1.0

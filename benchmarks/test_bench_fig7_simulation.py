@@ -1,0 +1,33 @@
+"""Benchmark regenerating Fig. 7 — simulation comparison across schedulers.
+
+Reduced scale (fewer jobs, two job counts, three representative baselines)
+so the whole benchmark suite stays fast; the full sweep is
+``python -m repro.experiments.fig7_simulation``.
+"""
+
+from conftest import BENCH_SETTINGS
+
+from repro.experiments import fig7_simulation
+from repro.workloads.mixtures import WorkloadType
+
+
+def test_bench_fig7_simulation(benchmark):
+    rows = benchmark.pedantic(
+        fig7_simulation.run,
+        kwargs={
+            "num_jobs_values": (80, 160),
+            "workload_types": (WorkloadType.MIXED,),
+            "scheduler_names": ("fcfs", "sjf", "llmsched"),
+            "seed": 0,
+            "settings": BENCH_SETTINGS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 2 * 3
+    by_key = {(r["num_jobs"], r["scheduler"]): r["average_jct"] for r in rows}
+    # Paper Fig. 7: LLMSched beats the job-agnostic FCFS baseline at every
+    # job count, and the average JCT grows with the number of jobs.
+    for num_jobs in (80, 160):
+        assert by_key[(num_jobs, "llmsched")] < by_key[(num_jobs, "fcfs")]
+    assert by_key[(160, "fcfs")] > by_key[(80, "fcfs")]

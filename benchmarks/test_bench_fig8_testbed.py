@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 8 — testbed-mode comparison (reduced scale)."""
+
+from conftest import BENCH_NUM_JOBS, BENCH_SETTINGS
+
+from repro.experiments import fig8_testbed
+from repro.workloads.mixtures import WorkloadType
+
+
+def test_bench_fig8_testbed(benchmark):
+    rows = benchmark.pedantic(
+        fig8_testbed.run,
+        kwargs={
+            "num_jobs": BENCH_NUM_JOBS,
+            "workload_types": (WorkloadType.MIXED, WorkloadType.PREDEFINED),
+            "scheduler_names": ("fcfs", "fair", "llmsched"),
+            "settings": BENCH_SETTINGS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 2 * 3
+    by_key = {(r["workload"], r["scheduler"]): r for r in rows}
+    # Paper Fig. 8: the testbed comparison mirrors the simulation — LLMSched
+    # below the job-agnostic baselines on every workload.
+    for workload in ("mixed", "predefined"):
+        assert (
+            by_key[(workload, "llmsched")]["average_jct"]
+            < by_key[(workload, "fcfs")]["average_jct"]
+        )
+        assert by_key[(workload, "llmsched")]["avg_overhead_ms"] > 0

@@ -1,0 +1,56 @@
+"""Benchmark regenerating Fig. 9 — sensitivity to epsilon, r and lambda."""
+
+from conftest import BENCH_NUM_JOBS, BENCH_SETTINGS
+
+from repro.experiments import fig9_sensitivity
+from repro.workloads.mixtures import WorkloadType
+
+
+def test_bench_fig9a_epsilon(benchmark):
+    series = benchmark.pedantic(
+        fig9_sensitivity.run_epsilon_sweep,
+        kwargs={
+            "epsilons": (0.0, 0.1, 0.4, 0.8),
+            "num_jobs": BENCH_NUM_JOBS,
+            "settings": BENCH_SETTINGS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert set(series) == {0.0, 0.1, 0.4, 0.8}
+    assert all(value > 0 for value in series.values())
+    # Paper Fig. 9a: very aggressive exploration degrades the average JCT
+    # relative to the sweet spot.
+    assert series[0.8] >= min(series.values())
+
+
+def test_bench_fig9b_sampling_ratio(benchmark):
+    series = benchmark.pedantic(
+        fig9_sensitivity.run_sampling_sweep,
+        kwargs={
+            "ratios": (0.1, 0.3, 1.0),
+            "num_jobs": BENCH_NUM_JOBS,
+            "settings": BENCH_SETTINGS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert set(series) == {0.1, 0.3, 1.0}
+    assert all(value > 0 for value in series.values())
+
+
+def test_bench_fig9c_arrival_rate(benchmark):
+    result = benchmark.pedantic(
+        fig9_sensitivity.run_arrival_sweep,
+        kwargs={
+            "arrival_rates": (0.6, 0.9, 1.2),
+            "workload_types": (WorkloadType.MIXED, WorkloadType.CHAIN),
+            "num_jobs": BENCH_NUM_JOBS,
+            "settings": BENCH_SETTINGS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for workload, series in result.items():
+        # Paper Fig. 9c: the average JCT grows as jobs arrive more frequently.
+        assert series[1.2] >= series[0.6]

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Table I — scheduling overhead per invocation."""
+
+from conftest import BENCH_NUM_JOBS, BENCH_SETTINGS
+
+from repro.experiments import table1_overhead
+from repro.workloads.mixtures import WorkloadType
+
+
+def test_bench_table1_overhead(benchmark):
+    rows = benchmark.pedantic(
+        table1_overhead.run,
+        kwargs={
+            "num_jobs": BENCH_NUM_JOBS,
+            "workload_types": (WorkloadType.MIXED,),
+            "scheduler_names": ("fcfs", "sjf", "decima", "llmsched"),
+            "settings": BENCH_SETTINGS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    overhead = {row["scheduler"]: row["mixed"] for row in rows}
+    # Paper Table I: simple heuristics are fastest, LLMSched stays in the
+    # low-millisecond range (its overhead includes BN inference + entropy).
+    assert overhead["fcfs"] < overhead["llmsched"]
+    assert overhead["llmsched"] < 20.0
+    assert all(value >= 0.0 for value in overhead.values())

@@ -1,0 +1,68 @@
+"""Compare every scheduler on each of the paper's four workload types.
+
+A scaled-down version of the paper's Fig. 7/8 comparison that finishes in a
+couple of minutes::
+
+    python examples/scheduler_comparison.py --num-jobs 120
+"""
+
+import argparse
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    PAPER_BASELINES,
+    ExperimentSettings,
+    build_priors,
+    build_profiler,
+    run_comparison,
+    size_cluster_for_workload,
+)
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--num-jobs", type=int, default=120)
+    parser.add_argument("--arrival-rate", type=float, default=0.9)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    settings = ExperimentSettings(profile_jobs=100, prior_samples=60)
+    applications = default_applications()
+    priors = build_priors(applications, settings)
+    profiler = build_profiler(applications, settings)
+    schedulers = PAPER_BASELINES + ["llmsched"]
+
+    rows = []
+    for workload_type in WorkloadType:
+        spec = WorkloadSpec(
+            workload_type=workload_type,
+            num_jobs=args.num_jobs,
+            arrival_rate=args.arrival_rate,
+            seed=args.seed,
+        )
+        cluster = size_cluster_for_workload(spec, applications, settings)
+        comparison = run_comparison(
+            spec,
+            schedulers,
+            applications=applications,
+            settings=settings,
+            priors=priors,
+            profiler=profiler,
+            cluster_config=cluster,
+        )
+        row = {"workload": workload_type.value}
+        row.update({name: comparison.metrics[name].average_jct for name in schedulers})
+        rows.append(row)
+
+    print(
+        format_table(
+            rows,
+            columns=["workload"] + schedulers,
+            title=f"Average JCT (s) per scheduler — {args.num_jobs} jobs, lambda={args.arrival_rate}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

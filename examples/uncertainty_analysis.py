@@ -1,0 +1,51 @@
+"""Inspect the profiler's view of a running job: posteriors, entropy, R(X).
+
+The example walks one task-automation job through its planning stage and
+shows how the Bayesian profiler's remaining-duration estimate and the
+uncertainty-reduction scores change as evidence arrives — the mechanism
+behind the paper's Fig. 2 motivation example.
+"""
+
+import numpy as np
+
+from repro import BayesianProfiler, UncertaintyQuantifier
+from repro.workloads import TaskAutomationApplication
+
+
+def complete_stage(job, stage_id: str, at_time: float) -> None:
+    stage = job.stage(stage_id)
+    stage.mark_running()
+    for task in stage.tasks:
+        task.mark_running(at_time, "executor")
+        task.mark_finished(at_time + task.work)
+    job.notify_stage_finished(stage_id, at_time + max(t.work for t in stage.tasks))
+
+
+def main() -> None:
+    app = TaskAutomationApplication()
+    profiler = BayesianProfiler().fit([app], n_profile_jobs=200, seed=0)
+    quantifier = UncertaintyQuantifier(profiler)
+
+    rng = np.random.default_rng(11)
+    job = app.sample_job("demo-job", 0.0, rng)
+    planner = job.stage(app.PLAN_KEY)
+    dynamic = job.stage(app.DYNAMIC_KEY)
+
+    print("=== before any stage runs ===")
+    print(f"true total work of this job: {job.true_total_work:.2f} s (hidden from the scheduler)")
+    print(f"posterior remaining estimate: {profiler.estimate_remaining_duration(job):.2f} s")
+    print(f"planner entropy:              {quantifier.stage_entropy(job, planner):.2f} bits")
+    print(f"dynamic-stage entropy:        {quantifier.stage_entropy(job, dynamic):.2f} bits")
+    print(f"uncertainty reduction R(plan): {quantifier.uncertainty_reduction(job, planner):.1f}")
+
+    complete_stage(job, app.PLAN_KEY, 0.0)
+    revealed = [s.stage_id for s in job.stages.values() if s.stage_id.startswith("tool_")]
+    print("\n=== after the planning stage completes ===")
+    print(f"revealed tools: {revealed}")
+    print(f"posterior remaining estimate: {profiler.estimate_remaining_duration(job):.2f} s")
+    print(f"true remaining work:          {job.true_remaining_work():.2f} s")
+    print(f"uncertainty reduction R(plan): {quantifier.uncertainty_reduction(job, planner):.1f} (resolved)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup shim.
+
+The offline environment has no `wheel` package, so PEP-517 editable installs
+(`pip install -e .`) cannot build a wheel.  This shim lets
+`python setup.py develop` perform a legacy editable install; all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""LLMSched reproduction: uncertainty-aware scheduling for compound LLM applications.
+
+Subpackages
+-----------
+``repro.dag``
+    The LLM DAG model: regular / LLM / dynamic stages, tasks, runtime jobs
+    and application templates.
+``repro.bayes``
+    Discrete Bayesian-network substrate (factors, CPDs, exact inference,
+    learning, discretisation, information measures).
+``repro.simulator``
+    Discrete-event cluster simulator with batched LLM executors.
+``repro.schedulers``
+    Scheduler interface and the six baselines of the paper's evaluation.
+``repro.core``
+    LLMSched itself: Bayesian profiler, batching-aware calibration,
+    entropy-based uncertainty quantification, and Algorithm 1.
+``repro.workloads``
+    Generative models of the six compound LLM applications and the four
+    workload mixes.
+``repro.experiments``
+    Harness regenerating every table and figure of the paper.
+"""
+
+from repro.core import (
+    BatchingAwareCalibrator,
+    BayesianProfiler,
+    LLMSchedConfig,
+    LLMSchedScheduler,
+    UncertaintyQuantifier,
+)
+from repro.dag import ApplicationTemplate, Job, Stage, StageType, Task
+from repro.schedulers import available_schedulers, create_scheduler
+from repro.simulator import Cluster, ClusterConfig, SimulationEngine
+from repro.workloads import WorkloadSpec, WorkloadType, default_applications, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BayesianProfiler",
+    "BatchingAwareCalibrator",
+    "LLMSchedConfig",
+    "LLMSchedScheduler",
+    "UncertaintyQuantifier",
+    "ApplicationTemplate",
+    "Job",
+    "Stage",
+    "StageType",
+    "Task",
+    "available_schedulers",
+    "create_scheduler",
+    "Cluster",
+    "ClusterConfig",
+    "SimulationEngine",
+    "WorkloadSpec",
+    "WorkloadType",
+    "default_applications",
+    "generate_workload",
+    "__version__",
+]

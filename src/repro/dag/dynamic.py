@@ -1,0 +1,96 @@
+"""Dynamic-stage support: candidate sets and realised plans.
+
+A dynamic stage is a placeholder for stages an LLM planner generates at
+runtime.  The *candidate set* lists everything the planner may invoke (the
+paper's example: text translation, image segmentation, object detection for
+task automation).  A :class:`DynamicPlan` is the ground-truth realisation for
+one job: which candidates were selected and the dependencies among them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bayes.information import binary_entropy
+
+__all__ = ["StageCandidate", "DynamicPlan", "dynamic_stage_entropy"]
+
+
+@dataclass(frozen=True)
+class StageCandidate:
+    """One entry of a dynamic stage's candidate set.
+
+    ``selection_probability`` is the historical frequency with which the
+    planner selects this candidate; it drives both workload generation and
+    the entropy-based uncertainty of the dynamic stage (Eq. 4).
+    """
+
+    name: str
+    is_llm: bool = False
+    mean_duration: float = 1.0
+    selection_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_duration < 0:
+            raise ValueError("mean_duration must be >= 0")
+        if not 0.0 <= self.selection_probability <= 1.0:
+            raise ValueError("selection_probability must be within [0, 1]")
+
+
+@dataclass
+class DynamicPlan:
+    """Ground-truth realisation of a dynamic stage for one job.
+
+    Attributes
+    ----------
+    selected:
+        Names of the selected candidates, in execution order.
+    dependencies:
+        Edges between selected candidates (pairs of names).
+    durations:
+        Task duration for each selected candidate.
+    """
+
+    selected: List[str] = field(default_factory=list)
+    dependencies: List[Tuple[str, str]] = field(default_factory=list)
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        selected = set(self.selected)
+        for parent, child in self.dependencies:
+            if parent not in selected or child not in selected:
+                raise ValueError(
+                    f"dependency ({parent!r}, {child!r}) references unselected candidates"
+                )
+        missing = [name for name in self.selected if name not in self.durations]
+        if missing:
+            raise ValueError(f"selected candidates without durations: {missing}")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.selected)
+
+    @property
+    def total_duration(self) -> float:
+        return float(sum(self.durations[name] for name in self.selected))
+
+
+def dynamic_stage_entropy(
+    candidates: Sequence[StageCandidate],
+    edge_probability: float = 0.5,
+) -> float:
+    """Uncertainty of a dynamic stage: node entropy plus edge entropy (Eq. 4).
+
+    Every candidate contributes the entropy of its selection indicator; every
+    potential edge between ordered candidate pairs contributes the entropy of
+    its existence indicator (``edge_probability`` is the historical frequency
+    of an edge between two selected candidates).
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be within [0, 1]")
+    node_entropy = sum(binary_entropy(c.selection_probability) for c in candidates)
+    n = len(candidates)
+    possible_edges = n * (n - 1) // 2
+    edge_entropy = possible_edges * binary_entropy(edge_probability)
+    return float(node_entropy + edge_entropy)

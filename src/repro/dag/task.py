@@ -1,0 +1,101 @@
+"""Runtime tasks — the unit of work placed on executors."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.utils.validation import require_non_negative
+
+__all__ = ["TaskType", "TaskState", "Task"]
+
+_task_counter = itertools.count()
+
+
+class TaskType(enum.Enum):
+    """Whether a task needs a regular executor or an LLM executor."""
+
+    REGULAR = "regular"
+    LLM = "llm"
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the simulator."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class Task:
+    """A single schedulable unit of work.
+
+    ``work`` is the ground-truth execution time of the task when it runs
+    alone: seconds on a regular executor, or seconds at batch size 1 on an
+    LLM executor.  For LLM tasks the *actual* wall-clock duration depends on
+    how many requests share the batch while it runs (handled by the
+    executor's latency model); ``progress`` tracks how much of ``work`` has
+    been completed so far in batch-size-1-equivalent seconds.
+    """
+
+    job_id: str
+    stage_id: str
+    task_type: TaskType
+    work: float
+    index: int = 0
+    uid: int = field(default_factory=lambda: next(_task_counter))
+    state: TaskState = TaskState.PENDING
+    progress: float = 0.0
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    executor_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.work, "work")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_llm(self) -> bool:
+        return self.task_type is TaskType.LLM
+
+    @property
+    def remaining_work(self) -> float:
+        """Batch-size-1-equivalent seconds of work still to do."""
+        return max(0.0, self.work - self.progress)
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state is TaskState.FINISHED
+
+    # ------------------------------------------------------------------ #
+    def mark_running(self, time: float, executor_id: str) -> None:
+        if self.state is not TaskState.PENDING:
+            raise RuntimeError(f"task {self.uid} cannot start from state {self.state}")
+        self.state = TaskState.RUNNING
+        self.start_time = float(time)
+        self.executor_id = executor_id
+
+    def advance(self, amount: float) -> None:
+        """Record ``amount`` of batch-size-1-equivalent work as completed."""
+        if self.state is not TaskState.RUNNING:
+            raise RuntimeError(f"task {self.uid} is not running")
+        if amount < -1e-9:
+            raise ValueError("cannot advance by a negative amount")
+        self.progress = min(self.work, self.progress + max(0.0, amount))
+
+    def mark_finished(self, time: float) -> None:
+        if self.state is not TaskState.RUNNING:
+            raise RuntimeError(f"task {self.uid} cannot finish from state {self.state}")
+        self.state = TaskState.FINISHED
+        self.progress = self.work
+        self.finish_time = float(time)
+
+    def key(self) -> str:
+        """Stable human-readable identifier used in logs and metrics."""
+        return f"{self.job_id}/{self.stage_id}/{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.key()}, {self.task_type.value}, work={self.work:.2f}, {self.state.value})"

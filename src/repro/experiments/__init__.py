@@ -1,0 +1,31 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each ``figN_*`` / ``tableN_*`` module exposes a ``run(...)`` function
+returning plain dictionaries/lists and a ``main()`` entry point that prints
+the same rows/series the paper reports.  The corresponding
+``benchmarks/test_bench_*.py`` files call the same ``run`` functions at a
+reduced scale so the whole harness stays runnable in CI; full paper-scale
+parameters are available through each module's command line, e.g.::
+
+    python -m repro.experiments.fig7_simulation --num-jobs 100 200 300 400
+"""
+
+from repro.experiments.runner import (
+    ComparisonResult,
+    ExperimentSettings,
+    build_priors,
+    build_profiler,
+    run_comparison,
+    run_single,
+    size_cluster_for_workload,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "ExperimentSettings",
+    "build_priors",
+    "build_profiler",
+    "run_comparison",
+    "run_single",
+    "size_cluster_for_workload",
+]

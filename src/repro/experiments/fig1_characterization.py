@@ -1,0 +1,124 @@
+"""Fig. 1 — workload characterisation of compound LLM applications.
+
+(a) job-duration distribution of sequence sorting,
+(b) chain-length distribution of code generation,
+(c) generated-stage-count distribution of task automation.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.report import format_series
+from repro.utils.rng import make_rng
+from repro.utils.stats import histogram_probabilities
+from repro.workloads import (
+    CodeGenerationApplication,
+    SequenceSortingApplication,
+    TaskAutomationApplication,
+)
+
+__all__ = ["run", "main"]
+
+
+def run(n_jobs: int = 500, seed: int = 0) -> Dict[str, Dict]:
+    """Generate the three distributions of the paper's Fig. 1.
+
+    Returns a dict with one entry per subplot: the raw samples plus the
+    histogram series that the paper plots.
+    """
+    if n_jobs < 10:
+        raise ValueError("n_jobs must be >= 10")
+    rng = make_rng(seed)
+
+    # (a) Sequence-sorting job durations.
+    sorting = SequenceSortingApplication()
+    durations: List[float] = [
+        sorting.sample_job(f"fig1a-{i}", 0.0, rng).true_total_work for i in range(n_jobs)
+    ]
+    duration_edges = list(np.linspace(0.0, max(300.0, max(durations)), 13))
+    duration_hist = histogram_probabilities(durations, duration_edges)
+
+    # (b) Code-generation chain lengths (number of executed stages).
+    codegen = CodeGenerationApplication()
+    chain_lengths: List[int] = []
+    for i in range(n_jobs):
+        job = codegen.sample_job(f"fig1b-{i}", 0.0, rng)
+        chain_lengths.append(sum(1 for s in job.stages.values() if s.will_execute))
+    length_values = sorted(set(chain_lengths))
+    length_hist = {
+        value: chain_lengths.count(value) / len(chain_lengths) for value in length_values
+    }
+
+    # (c) Task-automation generated-stage counts.
+    automation = TaskAutomationApplication()
+    generated: List[int] = []
+    for i in range(n_jobs):
+        job = automation.sample_job(f"fig1c-{i}", 0.0, rng)
+        generated.append(sum(1 for s in job.stages.values() if s.stage_id.startswith("tool_")))
+    generated_values = sorted(set(generated))
+    generated_hist = {
+        value: generated.count(value) / len(generated) for value in generated_values
+    }
+
+    return {
+        "fig1a_job_duration": {
+            "samples": durations,
+            "bin_edges": duration_edges,
+            "probability": duration_hist,
+            "min": float(min(durations)),
+            "max": float(max(durations)),
+        },
+        "fig1b_chain_length": {
+            "samples": chain_lengths,
+            "probability": length_hist,
+            "min": min(chain_lengths),
+            "max": max(chain_lengths),
+        },
+        "fig1c_generated_stages": {
+            "samples": generated,
+            "probability": generated_hist,
+            "min": min(generated),
+            "max": max(generated),
+        },
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-jobs", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    results = run(n_jobs=args.n_jobs, seed=args.seed)
+
+    fig1a = results["fig1a_job_duration"]
+    series_a = {
+        f"{fig1a['bin_edges'][i]:.0f}-{fig1a['bin_edges'][i + 1]:.0f}s": p
+        for i, p in enumerate(fig1a["probability"])
+    }
+    print(format_series(series_a, "duration bin", "probability", title="Fig. 1a — sequence sorting job duration"))
+    print(f"  range: {fig1a['min']:.1f}s .. {fig1a['max']:.1f}s\n")
+    print(
+        format_series(
+            results["fig1b_chain_length"]["probability"],
+            "chain length",
+            "probability",
+            title="Fig. 1b — code generation chain length",
+        )
+    )
+    print()
+    print(
+        format_series(
+            results["fig1c_generated_stages"]["probability"],
+            "generated stages",
+            "probability",
+            title="Fig. 1c — task automation generated stages",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Fig. 5 — inter-stage duration correlation heatmaps.
+
+(a) sequence sorting (predefined), (b) code generation (chain-like).
+The paper plots Pearson coefficients between the durations of every stage
+pair; strong off-diagonal entries are what the Bayesian profiler exploits.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.experiments.report import format_table
+from repro.utils.rng import make_rng
+from repro.utils.stats import pearson_correlation_matrix
+from repro.workloads import CodeGenerationApplication, SequenceSortingApplication
+
+__all__ = ["run", "main"]
+
+
+def _stage_duration_columns(app, n_jobs: int, rng) -> Dict[str, List[float]]:
+    """Per-stage duration traces over ``n_jobs`` sampled jobs (0 = skipped)."""
+    columns: Dict[str, List[float]] = {key: [] for key in app.profile_variables()}
+    for i in range(n_jobs):
+        job = app.sample_job(f"fig5-{app.name}-{i}", 0.0, rng)
+        durations = {s.profile_key: s.duration for s in job.stages.values() if not s.is_dynamic}
+        for key in columns:
+            columns[key].append(durations.get(key, 0.0))
+    return columns
+
+
+def run(n_jobs: int = 400, seed: int = 0) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Correlation matrices for the two applications of the paper's Fig. 5."""
+    if n_jobs < 10:
+        raise ValueError("n_jobs must be >= 10")
+    rng = make_rng(seed)
+    result: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for app in (SequenceSortingApplication(), CodeGenerationApplication()):
+        columns = _stage_duration_columns(app, n_jobs, rng)
+        result[app.name] = pearson_correlation_matrix(columns)
+    return result
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-jobs", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    matrices = run(n_jobs=args.n_jobs, seed=args.seed)
+    for app_name, matrix in matrices.items():
+        names = list(matrix)
+        rows = []
+        for row_name in names:
+            row = {"stage": row_name}
+            row.update({col: matrix[row_name][col] for col in names})
+            rows.append(row)
+        print(format_table(rows, columns=["stage"] + names, title=f"Fig. 5 — {app_name} duration correlations"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

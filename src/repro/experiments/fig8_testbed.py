@@ -1,0 +1,104 @@
+"""Fig. 8 — "testbed" comparison at 300 jobs, λ = 0.9, four workloads.
+
+The paper's testbed is a single H800 GPU serving Llama-2-7B with vLLM; its
+role in the evaluation is to validate that the simulator's comparison is
+consistent with real execution and to measure real scheduling overheads
+(Table I).  Without a GPU this reproduction runs the same experiment in
+"testbed mode": an independently re-seeded workload draw on the same sized
+cluster, with wall-clock timing of every scheduler invocation — which is
+what Table I consumes.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    PAPER_BASELINES,
+    ExperimentSettings,
+    build_priors,
+    build_profiler,
+    run_comparison,
+    size_cluster_for_workload,
+)
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+
+__all__ = ["run", "main", "TESTBED_SEED"]
+
+#: The testbed uses a different workload draw than the simulation runs.
+TESTBED_SEED = 1234
+
+
+def run(
+    num_jobs: int = 300,
+    arrival_rate: float = 0.9,
+    workload_types: Sequence[WorkloadType] = tuple(WorkloadType),
+    scheduler_names: Sequence[str] = tuple(PAPER_BASELINES + ["llmsched"]),
+    seed: int = TESTBED_SEED,
+    settings: Optional[ExperimentSettings] = None,
+) -> List[Dict[str, object]]:
+    """One row per (workload, scheduler) with average JCT and overhead."""
+    settings = settings or ExperimentSettings()
+    applications = default_applications()
+    priors = build_priors(applications, settings)
+    profiler = build_profiler(applications, settings)
+
+    rows: List[Dict[str, object]] = []
+    for workload_type in workload_types:
+        spec = WorkloadSpec(
+            workload_type=workload_type,
+            num_jobs=num_jobs,
+            arrival_rate=arrival_rate,
+            seed=seed,
+        )
+        cluster_config = size_cluster_for_workload(spec, applications, settings)
+        comparison = run_comparison(
+            spec,
+            scheduler_names,
+            applications=applications,
+            settings=settings,
+            priors=priors,
+            profiler=profiler,
+            cluster_config=cluster_config,
+        )
+        for name in scheduler_names:
+            metrics = comparison.metrics[name]
+            rows.append(
+                {
+                    "workload": workload_type.value,
+                    "scheduler": name,
+                    "average_jct": metrics.average_jct,
+                    "avg_overhead_ms": metrics.average_scheduling_overhead_ms,
+                    "scheduler_invocations": metrics.num_scheduler_invocations,
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--num-jobs", type=int, default=300)
+    parser.add_argument("--arrival-rate", type=float, default=0.9)
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=[w.value for w in WorkloadType],
+        choices=[w.value for w in WorkloadType],
+    )
+    parser.add_argument("--schedulers", nargs="+", default=PAPER_BASELINES + ["llmsched"])
+    parser.add_argument("--seed", type=int, default=TESTBED_SEED)
+    args = parser.parse_args(argv)
+    rows = run(
+        num_jobs=args.num_jobs,
+        arrival_rate=args.arrival_rate,
+        workload_types=[WorkloadType(w) for w in args.workloads],
+        scheduler_names=args.schedulers,
+        seed=args.seed,
+    )
+    print(format_table(rows, title="Fig. 8 — testbed-mode average JCT (300 jobs, lambda=0.9)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Fig. 9 — sensitivity of LLMSched to ε, r, and the arrival rate λ.
+
+(a) normalised average JCT vs exploration probability ε,
+(b) normalised average JCT vs task sampling ratio r,
+(c) normalised average JCT vs arrival rate λ for the four workload types.
+
+Normalisation follows the paper: every series is divided by the average JCT
+of LLMSched at its default configuration on the same workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.llmsched import LLMSchedConfig
+from repro.experiments.report import format_series
+from repro.experiments.runner import (
+    ExperimentSettings,
+    build_priors,
+    build_profiler,
+    run_single,
+    size_cluster_for_workload,
+)
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+
+__all__ = ["run_epsilon_sweep", "run_sampling_sweep", "run_arrival_sweep", "run", "main"]
+
+
+def _prepared(settings: ExperimentSettings):
+    applications = default_applications()
+    priors = build_priors(applications, settings)
+    profiler = build_profiler(applications, settings)
+    return applications, priors, profiler
+
+
+def run_epsilon_sweep(
+    epsilons: Sequence[float] = (0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+    workload_type: WorkloadType = WorkloadType.MIXED,
+    num_jobs: int = 300,
+    arrival_rate: float = 0.9,
+    seed: int = 0,
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[float, float]:
+    """Normalised average JCT for each exploration probability (Fig. 9a)."""
+    settings = settings or ExperimentSettings()
+    applications, priors, profiler = _prepared(settings)
+    spec = WorkloadSpec(workload_type=workload_type, num_jobs=num_jobs, arrival_rate=arrival_rate, seed=seed)
+    cluster = size_cluster_for_workload(spec, applications, settings)
+    jcts: Dict[float, float] = {}
+    for epsilon in epsilons:
+        run_settings = replace(settings, llmsched=replace(settings.llmsched, epsilon=float(epsilon)))
+        metrics = run_single(
+            "llmsched", spec, applications=applications, settings=run_settings,
+            priors=priors, profiler=profiler, cluster_config=cluster,
+        )
+        jcts[float(epsilon)] = metrics.average_jct
+    reference = jcts.get(settings.llmsched.epsilon) or min(jcts.values())
+    return {eps: jct / reference for eps, jct in jcts.items()}
+
+
+def run_sampling_sweep(
+    ratios: Sequence[float] = (0.1, 0.2, 0.3, 0.5, 0.7, 1.0),
+    workload_type: WorkloadType = WorkloadType.MIXED,
+    num_jobs: int = 300,
+    arrival_rate: float = 0.9,
+    seed: int = 0,
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[float, float]:
+    """Normalised average JCT for each task sampling ratio (Fig. 9b)."""
+    settings = settings or ExperimentSettings()
+    applications, priors, profiler = _prepared(settings)
+    spec = WorkloadSpec(workload_type=workload_type, num_jobs=num_jobs, arrival_rate=arrival_rate, seed=seed)
+    cluster = size_cluster_for_workload(spec, applications, settings)
+    jcts: Dict[float, float] = {}
+    for ratio in ratios:
+        run_settings = replace(settings, llmsched=replace(settings.llmsched, sampling_ratio=float(ratio)))
+        metrics = run_single(
+            "llmsched", spec, applications=applications, settings=run_settings,
+            priors=priors, profiler=profiler, cluster_config=cluster,
+        )
+        jcts[float(ratio)] = metrics.average_jct
+    reference = jcts.get(settings.llmsched.sampling_ratio) or min(jcts.values())
+    return {ratio: jct / reference for ratio, jct in jcts.items()}
+
+
+def run_arrival_sweep(
+    arrival_rates: Sequence[float] = (0.6, 0.9, 1.2),
+    workload_types: Sequence[WorkloadType] = tuple(WorkloadType),
+    num_jobs: int = 300,
+    seed: int = 0,
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[str, Dict[float, float]]:
+    """Normalised average JCT per workload as the arrival rate varies (Fig. 9c).
+
+    The cluster is sized once for the paper's default λ = 0.9 and kept fixed,
+    so lower / higher rates correspond to lightly / heavily loaded clusters.
+    """
+    settings = settings or ExperimentSettings()
+    applications, priors, profiler = _prepared(settings)
+    result: Dict[str, Dict[float, float]] = {}
+    for workload_type in workload_types:
+        sizing_spec = WorkloadSpec(workload_type=workload_type, num_jobs=num_jobs, arrival_rate=0.9, seed=seed)
+        cluster = size_cluster_for_workload(sizing_spec, applications, settings)
+        jcts: Dict[float, float] = {}
+        for rate in arrival_rates:
+            spec = WorkloadSpec(
+                workload_type=workload_type, num_jobs=num_jobs, arrival_rate=float(rate), seed=seed
+            )
+            metrics = run_single(
+                "llmsched", spec, applications=applications, settings=settings,
+                priors=priors, profiler=profiler, cluster_config=cluster,
+            )
+            jcts[float(rate)] = metrics.average_jct
+        reference = jcts.get(0.9) or min(jcts.values())
+        result[workload_type.value] = {rate: jct / reference for rate, jct in jcts.items()}
+    return result
+
+
+def run(
+    num_jobs: int = 300,
+    seed: int = 0,
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[str, object]:
+    """All three sensitivity sweeps of Fig. 9."""
+    return {
+        "fig9a_epsilon": run_epsilon_sweep(num_jobs=num_jobs, seed=seed, settings=settings),
+        "fig9b_sampling_ratio": run_sampling_sweep(num_jobs=num_jobs, seed=seed, settings=settings),
+        "fig9c_arrival_rate": run_arrival_sweep(num_jobs=num_jobs, seed=seed, settings=settings),
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--num-jobs", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    results = run(num_jobs=args.num_jobs, seed=args.seed)
+    print(format_series(results["fig9a_epsilon"], "epsilon", "norm. avg JCT", title="Fig. 9a — exploration probability"))
+    print()
+    print(format_series(results["fig9b_sampling_ratio"], "sampling ratio", "norm. avg JCT", title="Fig. 9b — task sampling ratio"))
+    print()
+    for workload, series in results["fig9c_arrival_rate"].items():
+        print(format_series(series, "lambda", "norm. avg JCT", title=f"Fig. 9c — arrival rate ({workload})"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Scheduler interface shared by LLMSched and all baselines.
+
+The simulation engine calls :meth:`Scheduler.schedule` whenever capacity may
+be available (job arrivals, task completions).  The scheduler returns two
+*preference lists* — one for regular tasks, one for LLM tasks — and the
+engine greedily places as many tasks from the front of each list as the
+cluster can currently hold.  Tasks that do not fit simply stay pending and
+are reconsidered at the next invocation, so schedulers never need to know
+the exact free capacity (though it is exposed on the context for policies
+that want it).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.dag.job import Job
+from repro.dag.stage import Stage
+from repro.dag.task import Task, TaskType
+
+__all__ = ["SchedulingContext", "SchedulingDecision", "Scheduler", "interleave_by_job"]
+
+
+@dataclass
+class SchedulingContext:
+    """A snapshot of everything a scheduler may look at when deciding.
+
+    Attributes
+    ----------
+    time:
+        Current simulation time in seconds.
+    jobs:
+        Arrived and unfinished jobs, in arrival order.
+    free_regular_slots / free_llm_slots:
+        Currently available capacity (regular executors, LLM batch slots).
+    llm_batch_sizes:
+        Current batch size of every LLM executor (used by batching-aware
+        duration calibration).
+    """
+
+    time: float
+    jobs: List[Job]
+    free_regular_slots: int = 0
+    free_llm_slots: int = 0
+    llm_batch_sizes: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def schedulable_stages(self) -> List[Stage]:
+        """Every stage that currently has pending tasks and satisfied deps."""
+        stages: List[Stage] = []
+        for job in self.jobs:
+            stages.extend(job.schedulable_stages())
+        return stages
+
+    def schedulable_tasks(self) -> List[Task]:
+        return [t for s in self.schedulable_stages() for t in s.pending_tasks()]
+
+    def job_of(self, task: Task) -> Job:
+        for job in self.jobs:
+            if job.job_id == task.job_id:
+                return job
+        raise KeyError(f"task {task.key()} belongs to no active job")
+
+    @property
+    def average_llm_batch_size(self) -> float:
+        if not self.llm_batch_sizes:
+            return 1.0
+        return max(1.0, sum(self.llm_batch_sizes) / len(self.llm_batch_sizes))
+
+
+@dataclass
+class SchedulingDecision:
+    """Ordered task preferences returned by a scheduler."""
+
+    regular_tasks: List[Task] = field(default_factory=list)
+    llm_tasks: List[Task] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for task in self.regular_tasks:
+            if task.task_type is not TaskType.REGULAR:
+                raise ValueError(f"{task.key()} is not a regular task")
+        for task in self.llm_tasks:
+            if task.task_type is not TaskType.LLM:
+                raise ValueError(f"{task.key()} is not an LLM task")
+
+    @classmethod
+    def from_tasks(cls, tasks: Iterable[Task]) -> "SchedulingDecision":
+        """Split an ordered task list into the two preference lists."""
+        regular: List[Task] = []
+        llm: List[Task] = []
+        for task in tasks:
+            (llm if task.task_type is TaskType.LLM else regular).append(task)
+        return cls(regular_tasks=regular, llm_tasks=llm)
+
+    @property
+    def total_tasks(self) -> int:
+        return len(self.regular_tasks) + len(self.llm_tasks)
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling policies."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "base"
+
+    # Optional hooks ----------------------------------------------------- #
+    def on_job_arrival(self, job: Job, time: float) -> None:
+        """Called once when a job arrives (before the next scheduling pass)."""
+
+    def on_stage_complete(self, job: Job, stage: Stage, time: float) -> None:
+        """Called when every task of a stage has finished (or it was skipped)."""
+
+    def on_job_complete(self, job: Job, time: float) -> None:
+        """Called when a job finishes."""
+
+    # Mandatory ---------------------------------------------------------- #
+    @abc.abstractmethod
+    def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        """Return preference lists for the currently schedulable tasks."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def interleave_by_job(stages: Sequence[Stage]) -> List[Task]:
+    """Flatten stages into tasks, keeping the given stage (job) priority order.
+
+    All tasks of a higher-priority stage come before tasks of lower-priority
+    stages; within a stage, tasks keep their index order.
+    """
+    tasks: List[Task] = []
+    for stage in stages:
+        tasks.extend(stage.pending_tasks())
+    return tasks

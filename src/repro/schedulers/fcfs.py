@@ -1,0 +1,36 @@
+"""First Come First Serve — Spark's default policy (job-agnostic baseline)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dag.stage import Stage
+from repro.schedulers.base import (
+    Scheduler,
+    SchedulingContext,
+    SchedulingDecision,
+    interleave_by_job,
+)
+
+__all__ = ["FcfsScheduler"]
+
+
+class FcfsScheduler(Scheduler):
+    """Schedule jobs strictly in arrival order.
+
+    Within a job, stages are ordered by DAG depth so upstream work runs
+    first; the policy uses no duration or structure profile at all.
+    """
+
+    name = "fcfs"
+
+    def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        ordered_jobs = sorted(context.jobs, key=lambda j: (j.arrival_time, j.job_id))
+        stages: List[Stage] = []
+        for job in ordered_jobs:
+            job_stages = sorted(
+                job.schedulable_stages(),
+                key=lambda s: (job.stage_depth(s.stage_id), s.stage_id),
+            )
+            stages.extend(job_stages)
+        return SchedulingDecision.from_tasks(interleave_by_job(stages))

@@ -1,0 +1,69 @@
+"""Name-based scheduler construction used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.schedulers.argus import ArgusScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.carbyne import CarbyneScheduler
+from repro.schedulers.decima import DecimaPolicy, DecimaScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.schedulers.priors import ApplicationPriors
+from repro.schedulers.sjf import SjfScheduler
+from repro.schedulers.srtf import SrtfScheduler
+
+__all__ = ["available_schedulers", "create_scheduler"]
+
+#: Baseline names in the order the paper's figures list them.
+_BASELINES = ["fcfs", "sjf", "fair", "argus", "decima", "carbyne"]
+
+
+def available_schedulers(include_llmsched: bool = True) -> List[str]:
+    """Names accepted by :func:`create_scheduler`."""
+    names = list(_BASELINES) + ["srtf"]
+    if include_llmsched:
+        names.append("llmsched")
+    return names
+
+
+def create_scheduler(
+    name: str,
+    priors: Optional[ApplicationPriors] = None,
+    decima_policy: Optional[DecimaPolicy] = None,
+    **kwargs,
+) -> Scheduler:
+    """Instantiate a scheduler by name.
+
+    ``llmsched`` requires the profiler and configuration arguments of
+    :class:`repro.core.llmsched.LLMSchedScheduler`, which are passed through
+    ``kwargs``; the duration-based baselines require ``priors``.
+    """
+    key = name.lower()
+    if key == "fcfs":
+        return FcfsScheduler()
+    if key == "fair":
+        return FairScheduler()
+    if key == "sjf":
+        return SjfScheduler(_require_priors(key, priors))
+    if key == "srtf":
+        return SrtfScheduler(priors=_require_priors(key, priors))
+    if key == "argus":
+        return ArgusScheduler()
+    if key == "carbyne":
+        return CarbyneScheduler(_require_priors(key, priors))
+    if key == "decima":
+        return DecimaScheduler(_require_priors(key, priors), policy=decima_policy)
+    if key == "llmsched":
+        # Imported lazily to avoid a circular import (core depends on schedulers).
+        from repro.core.llmsched import LLMSchedScheduler
+
+        return LLMSchedScheduler(**kwargs)
+    raise ValueError(f"unknown scheduler {name!r}; available: {available_schedulers()}")
+
+
+def _require_priors(name: str, priors: Optional[ApplicationPriors]) -> ApplicationPriors:
+    if priors is None:
+        raise ValueError(f"scheduler {name!r} requires application priors")
+    return priors

@@ -1,0 +1,45 @@
+"""Shortest Job First — prioritise the job with the shortest estimated duration."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dag.stage import Stage
+from repro.schedulers.base import (
+    Scheduler,
+    SchedulingContext,
+    SchedulingDecision,
+    interleave_by_job,
+)
+from repro.schedulers.priors import ApplicationPriors
+
+__all__ = ["SjfScheduler"]
+
+
+class SjfScheduler(Scheduler):
+    """Order jobs by the historical mean duration of their application.
+
+    This is the strongest simple baseline on mixed workloads in the paper,
+    but it ignores duration uncertainty: two jobs of the same application are
+    indistinguishable, and a job whose actual duration deviates from the
+    historical mean is mis-ranked.
+    """
+
+    name = "sjf"
+
+    def __init__(self, priors: ApplicationPriors) -> None:
+        self._priors = priors
+
+    def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        ordered_jobs = sorted(
+            context.jobs,
+            key=lambda j: (self._priors.estimate_total(j), j.arrival_time, j.job_id),
+        )
+        stages: List[Stage] = []
+        for job in ordered_jobs:
+            job_stages = sorted(
+                job.schedulable_stages(),
+                key=lambda s: (job.stage_depth(s.stage_id), s.stage_id),
+            )
+            stages.extend(job_stages)
+        return SchedulingDecision.from_tasks(interleave_by_job(stages))

@@ -1,0 +1,37 @@
+"""Cluster simulator substrate.
+
+The paper evaluates LLMSched both on a real testbed (H800 + vLLM) and on a
+simulator that models the one property of LLM serving that matters for
+scheduling: decoding latency depends on how many requests share the batch,
+so the remaining duration of every running LLM task changes whenever the
+batch composition changes.  This subpackage implements that simulator as a
+discrete-event engine:
+
+* :mod:`~repro.simulator.latency` — batch-size → decoding-latency profile,
+* :mod:`~repro.simulator.executor` — regular executors (one task at a time)
+  and batched LLM executors (progress rescaling on batch changes),
+* :mod:`~repro.simulator.cluster` — executor pools and placement,
+* :mod:`~repro.simulator.engine` — the event loop driving jobs, executors and
+  a pluggable scheduler,
+* :mod:`~repro.simulator.metrics` — JCT / utilisation / overhead accounting.
+"""
+
+from repro.simulator.latency import DecodingLatencyProfile
+from repro.simulator.executor import LLMExecutor, RegularExecutor
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.engine import SimulationEngine, SimulationConfig
+from repro.simulator.events import EventQueue, SimulationEvent
+
+__all__ = [
+    "DecodingLatencyProfile",
+    "RegularExecutor",
+    "LLMExecutor",
+    "Cluster",
+    "ClusterConfig",
+    "SimulationMetrics",
+    "SimulationEngine",
+    "SimulationConfig",
+    "EventQueue",
+    "SimulationEvent",
+]

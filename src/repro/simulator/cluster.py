@@ -1,0 +1,134 @@
+"""The cluster: pools of regular and LLM executors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dag.task import Task, TaskType
+from repro.simulator.executor import LLMExecutor, RegularExecutor
+from repro.simulator.latency import DecodingLatencyProfile
+
+__all__ = ["ClusterConfig", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Sizing of the serving cluster.
+
+    The paper configures the executor counts per workload type so the cluster
+    runs at a moderate (~85%) average load; :mod:`repro.experiments.runner`
+    contains the sizing helper that does the same for this reproduction.
+    """
+
+    num_regular_executors: int = 8
+    num_llm_executors: int = 4
+    max_batch_size: int = 8
+    latency_slope: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.num_regular_executors < 1:
+            raise ValueError("num_regular_executors must be >= 1")
+        if self.num_llm_executors < 1:
+            raise ValueError("num_llm_executors must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.latency_slope < 0:
+            raise ValueError("latency_slope must be >= 0")
+
+    def latency_profile(self) -> DecodingLatencyProfile:
+        return DecodingLatencyProfile(slope=self.latency_slope)
+
+
+class Cluster:
+    """Executor pools plus placement helpers used by the simulation engine."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        profile = config.latency_profile()
+        self.regular_executors: List[RegularExecutor] = [
+            RegularExecutor(f"reg-{i}") for i in range(config.num_regular_executors)
+        ]
+        self.llm_executors: List[LLMExecutor] = [
+            LLMExecutor(f"llm-{i}", config.max_batch_size, profile)
+            for i in range(config.num_llm_executors)
+        ]
+        self._by_id: Dict[str, object] = {
+            e.executor_id: e for e in (*self.regular_executors, *self.llm_executors)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Capacity
+    # ------------------------------------------------------------------ #
+    def idle_regular_executors(self) -> List[RegularExecutor]:
+        return [e for e in self.regular_executors if e.is_idle]
+
+    def free_llm_slots(self) -> int:
+        return sum(e.free_slots for e in self.llm_executors)
+
+    def free_regular_slots(self) -> int:
+        return len(self.idle_regular_executors())
+
+    def executor(self, executor_id: str):
+        return self._by_id[executor_id]
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def assign_regular_task(self, task: Task, time: float) -> Optional[str]:
+        """Place a regular task on an idle regular executor (None if full)."""
+        if task.task_type is not TaskType.REGULAR:
+            raise ValueError("assign_regular_task expects a regular task")
+        idle = self.idle_regular_executors()
+        if not idle:
+            return None
+        executor = idle[0]
+        executor.assign(task, time)
+        return executor.executor_id
+
+    def assign_llm_task(self, task: Task, time: float) -> Optional[str]:
+        """Place an LLM task on the least-loaded LLM executor (None if full).
+
+        Least-loaded placement is the simple load-balancing rule the paper
+        uses for multiple LLM executors.
+        """
+        if task.task_type is not TaskType.LLM:
+            raise ValueError("assign_llm_task expects an LLM task")
+        candidates = [e for e in self.llm_executors if e.free_slots > 0]
+        if not candidates:
+            return None
+        executor = min(candidates, key=lambda e: (e.batch_size, e.executor_id))
+        executor.add_task(task, time)
+        return executor.executor_id
+
+    # ------------------------------------------------------------------ #
+    # Time keeping
+    # ------------------------------------------------------------------ #
+    def advance_to(self, time: float) -> None:
+        """Accrue progress on every LLM executor up to ``time``."""
+        for executor in self.llm_executors:
+            executor.advance_to(time)
+
+    def next_completion(self) -> Optional[Tuple[float, Task, str]]:
+        """Earliest upcoming task completion across all executors."""
+        best: Optional[Tuple[float, Task, str]] = None
+        for executor in self.regular_executors:
+            completion = executor.completion_time()
+            if completion is not None and (best is None or completion < best[0]):
+                best = (completion, executor.current_task, executor.executor_id)
+        for executor in self.llm_executors:
+            completion = executor.next_completion()
+            if completion is not None and (best is None or completion[0] < best[0]):
+                best = (completion[0], completion[1], executor.executor_id)
+        return best
+
+    def utilization(self, horizon: float) -> Dict[str, float]:
+        """Average busy fraction of each executor pool over ``horizon`` seconds."""
+        if horizon <= 0:
+            return {"regular": 0.0, "llm": 0.0}
+        regular_busy = sum(e.busy_time for e in self.regular_executors)
+        llm_busy = sum(e.busy_time for e in self.llm_executors)
+        return {
+            "regular": regular_busy / (horizon * len(self.regular_executors)),
+            "llm": llm_busy / (horizon * len(self.llm_executors)),
+        }

@@ -1,0 +1,65 @@
+"""Deterministic event queue used by the simulation engine.
+
+The engine only stores *externally scheduled* events here (job arrivals);
+task completions are recomputed from executor state every iteration because
+batch-composition changes invalidate previously computed completion times.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+__all__ = ["EventType", "SimulationEvent", "EventQueue"]
+
+
+class EventType(enum.Enum):
+    JOB_ARRIVAL = "job_arrival"
+    TASK_FINISH = "task_finish"
+
+
+@dataclass(frozen=True, order=True)
+class SimulationEvent:
+    """An event with a total ordering of (time, sequence number)."""
+
+    time: float
+    sequence: int
+    event_type: EventType = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A min-heap of :class:`SimulationEvent` with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[SimulationEvent] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, event_type: EventType, payload: Any = None) -> SimulationEvent:
+        if time < 0:
+            raise ValueError("event time must be >= 0")
+        event = SimulationEvent(
+            time=float(time),
+            sequence=next(self._counter),
+            event_type=event_type,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek(self) -> Optional[SimulationEvent]:
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> SimulationEvent:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,163 @@
+"""Executors: regular containers and batched LLM engines."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.dag.task import Task, TaskType
+from repro.simulator.latency import DecodingLatencyProfile
+
+__all__ = ["RegularExecutor", "LLMExecutor"]
+
+_EPS = 1e-9
+
+
+class RegularExecutor:
+    """An executor (e.g. a container) running one regular task at a time."""
+
+    def __init__(self, executor_id: str) -> None:
+        self.executor_id = executor_id
+        self.current_task: Optional[Task] = None
+        self._task_started_at: float = 0.0
+        self.busy_time: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_idle(self) -> bool:
+        return self.current_task is None
+
+    def assign(self, task: Task, time: float) -> None:
+        if not self.is_idle:
+            raise RuntimeError(f"executor {self.executor_id} is busy")
+        if task.task_type is not TaskType.REGULAR:
+            raise ValueError(f"executor {self.executor_id} only runs regular tasks")
+        task.mark_running(time, self.executor_id)
+        self.current_task = task
+        self._task_started_at = float(time)
+
+    def completion_time(self) -> Optional[float]:
+        """Absolute time at which the current task will finish (None if idle)."""
+        if self.current_task is None:
+            return None
+        return self._task_started_at + self.current_task.work
+
+    def finish_current(self, time: float) -> Task:
+        """Complete the current task at ``time`` and free the executor."""
+        if self.current_task is None:
+            raise RuntimeError(f"executor {self.executor_id} has no running task")
+        task = self.current_task
+        task.mark_finished(time)
+        self.busy_time += time - self._task_started_at
+        self.current_task = None
+        return task
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self.is_idle else f"running {self.current_task.key()}"
+        return f"RegularExecutor({self.executor_id}, {state})"
+
+
+class LLMExecutor:
+    """A serving-engine instance executing LLM tasks with continuous batching.
+
+    Every running request progresses concurrently; the per-request progress
+    rate depends on the current batch size through the decoding-latency
+    profile.  Whenever the batch composition changes, callers must first
+    bring the executor up to date with :meth:`advance_to` so that progress
+    is accounted at the correct rates (this is exactly how the paper's
+    simulator "dynamically adjusts the remaining duration of each running
+    LLM task whenever the number of concurrent running requests changes").
+    """
+
+    def __init__(
+        self,
+        executor_id: str,
+        max_batch_size: int,
+        latency_profile: Optional[DecodingLatencyProfile] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.executor_id = executor_id
+        self.max_batch_size = int(max_batch_size)
+        self.latency_profile = latency_profile or DecodingLatencyProfile()
+        self.running: List[Task] = []
+        self.busy_time: float = 0.0
+        self._last_update: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_size(self) -> int:
+        return len(self.running)
+
+    @property
+    def free_slots(self) -> int:
+        return self.max_batch_size - self.batch_size
+
+    @property
+    def is_idle(self) -> bool:
+        return not self.running
+
+    # ------------------------------------------------------------------ #
+    def advance_to(self, time: float) -> None:
+        """Accrue progress for all running tasks up to ``time``."""
+        if time < self._last_update - _EPS:
+            raise ValueError(
+                f"time moved backwards on {self.executor_id}: "
+                f"{time} < {self._last_update}"
+            )
+        elapsed = max(0.0, time - self._last_update)
+        if elapsed > 0 and self.running:
+            rate = self.latency_profile.speed(self.batch_size)
+            for task in self.running:
+                task.advance(elapsed * rate)
+            self.busy_time += elapsed
+        self._last_update = float(time)
+
+    def add_task(self, task: Task, time: float) -> None:
+        """Admit a new request to the batch at ``time``."""
+        if task.task_type is not TaskType.LLM:
+            raise ValueError(f"executor {self.executor_id} only runs LLM tasks")
+        if self.free_slots <= 0:
+            raise RuntimeError(f"executor {self.executor_id} batch is full")
+        self.advance_to(time)
+        task.mark_running(time, self.executor_id)
+        self.running.append(task)
+
+    def next_completion(self) -> Optional[Tuple[float, Task]]:
+        """(absolute finish time, task) of the earliest-finishing request.
+
+        Assumes the batch composition stays as it is now; the engine
+        re-queries after every change.
+        """
+        if not self.running:
+            return None
+        rate = self.latency_profile.speed(self.batch_size)
+        best_task = min(self.running, key=lambda t: (t.remaining_work, t.uid))
+        finish_time = self._last_update + best_task.remaining_work / rate
+        return finish_time, best_task
+
+    def finish_task(self, task: Task, time: float) -> None:
+        """Complete ``task`` at ``time`` and remove it from the batch."""
+        if task not in self.running:
+            raise RuntimeError(f"task {task.key()} is not running on {self.executor_id}")
+        self.advance_to(time)
+        if task.remaining_work > 1e-6:
+            raise RuntimeError(
+                f"task {task.key()} still has {task.remaining_work:.6f}s of work"
+            )
+        task.mark_finished(time)
+        self.running.remove(task)
+
+    def finished_tasks_at(self, time: float) -> List[Task]:
+        """Tasks whose work completes at (or before) ``time``."""
+        if not self.running:
+            return []
+        rate = self.latency_profile.speed(self.batch_size)
+        horizon = max(0.0, time - self._last_update) * rate
+        return [t for t in self.running if t.remaining_work <= horizon + 1e-9]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LLMExecutor({self.executor_id}, batch={self.batch_size}/"
+            f"{self.max_batch_size})"
+        )

@@ -1,0 +1,76 @@
+"""Metrics collected during a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.utils.stats import OnlineStats, summarize
+
+__all__ = ["SimulationMetrics"]
+
+
+@dataclass
+class SimulationMetrics:
+    """JCT, utilisation and scheduling-overhead accounting for one run."""
+
+    scheduler_name: str = ""
+    workload_name: str = ""
+    job_completion_times: Dict[str, float] = field(default_factory=dict)
+    job_applications: Dict[str, str] = field(default_factory=dict)
+    makespan: float = 0.0
+    utilization: Dict[str, float] = field(default_factory=dict)
+    scheduling_overhead: OnlineStats = field(default_factory=OnlineStats)
+    num_scheduler_invocations: int = 0
+    num_tasks_executed: int = 0
+
+    # ------------------------------------------------------------------ #
+    def record_job_completion(self, job_id: str, application: str, jct: float) -> None:
+        if jct < 0:
+            raise ValueError("JCT must be >= 0")
+        self.job_completion_times[job_id] = float(jct)
+        self.job_applications[job_id] = application
+
+    def record_scheduler_invocation(self, overhead_seconds: float) -> None:
+        self.num_scheduler_invocations += 1
+        self.scheduling_overhead.add(max(0.0, overhead_seconds))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def average_jct(self) -> float:
+        if not self.job_completion_times:
+            return 0.0
+        values = list(self.job_completion_times.values())
+        return float(sum(values) / len(values))
+
+    @property
+    def average_scheduling_overhead_ms(self) -> float:
+        """Average wall-clock overhead of one scheduler invocation (Table I)."""
+        if self.scheduling_overhead.count == 0:
+            return 0.0
+        return self.scheduling_overhead.mean * 1000.0
+
+    def jct_by_application(self) -> Dict[str, float]:
+        """Average JCT per application (diagnostic breakdown)."""
+        sums: Dict[str, List[float]] = {}
+        for job_id, jct in self.job_completion_times.items():
+            sums.setdefault(self.job_applications[job_id], []).append(jct)
+        return {app: float(sum(v) / len(v)) for app, v in sums.items()}
+
+    def jct_summary(self) -> Dict[str, float]:
+        return summarize(list(self.job_completion_times.values()))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat summary used by the experiment report writers."""
+        return {
+            "scheduler": self.scheduler_name,
+            "workload": self.workload_name,
+            "num_jobs": len(self.job_completion_times),
+            "average_jct": self.average_jct,
+            "makespan": self.makespan,
+            "p95_jct": self.jct_summary()["p95"],
+            "avg_overhead_ms": self.average_scheduling_overhead_ms,
+            "scheduler_invocations": self.num_scheduler_invocations,
+            "llm_utilization": self.utilization.get("llm", 0.0),
+            "regular_utilization": self.utilization.get("regular", 0.0),
+        }

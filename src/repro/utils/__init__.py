@@ -1,0 +1,31 @@
+"""Shared utilities: deterministic RNG management, statistics, validation."""
+
+from repro.utils.rng import RngMixin, derive_rng, make_rng
+from repro.utils.stats import (
+    OnlineStats,
+    histogram_probabilities,
+    pearson_correlation,
+    pearson_correlation_matrix,
+    summarize,
+)
+from repro.utils.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "RngMixin",
+    "derive_rng",
+    "make_rng",
+    "OnlineStats",
+    "histogram_probabilities",
+    "pearson_correlation",
+    "pearson_correlation_matrix",
+    "summarize",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,158 @@
+"""Small statistics helpers used across the library.
+
+The heatmap experiment (paper Fig. 5) needs Pearson correlation matrices, the
+profiler needs empirical histograms, and the metrics module needs streaming
+mean/percentile summaries.  Everything here operates on plain sequences or
+numpy arrays and has no dependency on the rest of the package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "OnlineStats",
+    "pearson_correlation",
+    "pearson_correlation_matrix",
+    "histogram_probabilities",
+    "summarize",
+]
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences.
+
+    Returns 0.0 when either sequence is (numerically) constant, which is the
+    convention the heatmap plots need: a stage whose duration never varies
+    carries no correlation signal.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"length mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        return 0.0
+    sx = x.std()
+    sy = y.std()
+    if sx < 1e-12 or sy < 1e-12:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def pearson_correlation_matrix(columns: Dict[str, Sequence[float]]) -> Dict[str, Dict[str, float]]:
+    """Pairwise Pearson correlations between named columns.
+
+    The result is a nested mapping ``matrix[a][b]`` mirroring the stage-ID
+    heatmap in the paper's Fig. 5.
+    """
+    names = list(columns)
+    matrix: Dict[str, Dict[str, float]] = {}
+    for a in names:
+        matrix[a] = {}
+        for b in names:
+            if a == b:
+                matrix[a][b] = 1.0
+            else:
+                matrix[a][b] = pearson_correlation(columns[a], columns[b])
+    return matrix
+
+
+def histogram_probabilities(
+    values: Sequence[float],
+    bin_edges: Sequence[float],
+) -> List[float]:
+    """Empirical probability mass of ``values`` within consecutive bins.
+
+    ``bin_edges`` must be increasing; values outside the range are clipped to
+    the first/last bin so the masses always sum to 1 for non-empty input.
+    """
+    edges = np.asarray(bin_edges, dtype=float)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValueError("bin_edges must contain at least two edges")
+    if np.any(np.diff(edges) <= 0):
+        raise ValueError("bin_edges must be strictly increasing")
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return [0.0] * (edges.size - 1)
+    clipped = np.clip(data, edges[0], edges[-1])
+    counts, _ = np.histogram(clipped, bins=edges)
+    return list(counts / data.size)
+
+
+@dataclass
+class OnlineStats:
+    """Streaming mean/variance/min/max accumulator (Welford's algorithm)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    _values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self._values.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (q in [0, 100]) of all values seen so far."""
+        if not self._values:
+            raise ValueError("no values recorded")
+        return float(np.percentile(np.asarray(self._values), q))
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum if self.count else float("nan"),
+            "max": self.maximum if self.count else float("nan"),
+        }
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """One-shot summary (count / mean / std / min / p50 / p95 / max)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {
+            "count": 0.0,
+            "mean": float("nan"),
+            "std": float("nan"),
+            "min": float("nan"),
+            "p50": float("nan"),
+            "p95": float("nan"),
+            "max": float("nan"),
+        }
+    return {
+        "count": float(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,38 @@
+"""Argument-validation helpers raising consistent, descriptive errors."""
+
+from __future__ import annotations
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_in_range",
+]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, otherwise raise ``ValueError``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, otherwise raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Return ``value`` if within [0, 1], otherwise raise ``ValueError``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return ``value`` if within [low, high], otherwise raise ``ValueError``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be within [{low}, {high}], got {value!r}")
+    return value

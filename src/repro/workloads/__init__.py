@@ -1,0 +1,54 @@
+"""The six compound LLM applications used in the paper's evaluation.
+
+Predefined:  sequence sorting, document merging        (Graph-of-Thoughts)
+Chain-like:  code generation (Reflexion), web search   (ReAct)
+Planning:    task automation (TaskBench), LLMCompiler
+
+Each application is a generative :class:`~repro.dag.application.ApplicationTemplate`
+fitted to the runtime characteristics the paper reports (job-duration ranges,
+chain-length and generated-stage distributions, inter-stage correlations).
+:mod:`repro.workloads.mixtures` assembles them into the four workload types of
+the evaluation (Mixed / Predefined / Chain-like / Planning) with Poisson
+arrivals.
+"""
+
+from repro.workloads.base import LatentScaledDuration, sample_lognormal
+from repro.workloads.datasets import (
+    MbppLikeDataset,
+    HotpotQaLikeDataset,
+    SyntheticSequenceDataset,
+    TaskBenchLikeDataset,
+)
+from repro.workloads.sequence_sorting import SequenceSortingApplication
+from repro.workloads.document_merging import DocumentMergingApplication
+from repro.workloads.code_generation import CodeGenerationApplication
+from repro.workloads.web_search import WebSearchApplication
+from repro.workloads.task_automation import TaskAutomationApplication
+from repro.workloads.llm_compiler import LlmCompilerApplication
+from repro.workloads.mixtures import (
+    WorkloadSpec,
+    WorkloadType,
+    default_applications,
+    generate_workload,
+    poisson_arrival_times,
+)
+
+__all__ = [
+    "LatentScaledDuration",
+    "sample_lognormal",
+    "SyntheticSequenceDataset",
+    "MbppLikeDataset",
+    "HotpotQaLikeDataset",
+    "TaskBenchLikeDataset",
+    "SequenceSortingApplication",
+    "DocumentMergingApplication",
+    "CodeGenerationApplication",
+    "WebSearchApplication",
+    "TaskAutomationApplication",
+    "LlmCompilerApplication",
+    "WorkloadSpec",
+    "WorkloadType",
+    "default_applications",
+    "generate_workload",
+    "poisson_arrival_times",
+]

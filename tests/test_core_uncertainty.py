@@ -1,0 +1,67 @@
+"""Tests for the entropy-based uncertainty quantification façade."""
+
+import pytest
+
+from repro.core.profiler import BayesianProfiler
+from repro.core.uncertainty import (
+    UncertaintyQuantifier,
+    llm_stage_entropy,
+    regular_stage_entropy,
+)
+from repro.utils.rng import make_rng
+from repro.workloads import SequenceSortingApplication, TaskAutomationApplication
+
+
+@pytest.fixture(scope="module")
+def quantifier():
+    profiler = BayesianProfiler()
+    profiler.fit(
+        [SequenceSortingApplication(), TaskAutomationApplication()],
+        n_profile_jobs=80,
+        seed=2,
+    )
+    return UncertaintyQuantifier(profiler)
+
+
+class TestStageEntropyFormulas:
+    def test_regular_stage_entropy_is_bernoulli(self):
+        assert regular_stage_entropy(0.5) == pytest.approx(1.0)
+        assert regular_stage_entropy(1.0) == pytest.approx(0.0)
+
+    def test_llm_stage_entropy_over_intervals(self):
+        # 3 duration intervals + non-execution, uniform -> 2 bits.
+        assert llm_stage_entropy([0.25, 0.25, 0.25, 0.25]) == pytest.approx(2.0)
+        assert llm_stage_entropy([1.0, 0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            regular_stage_entropy(1.2)
+
+
+class TestQuantifier:
+    def test_stage_entropy_positive_before_execution(self, quantifier):
+        job = SequenceSortingApplication().sample_job("j0", 0.0, make_rng(0))
+        entropy = quantifier.stage_entropy(job, job.stage("ss_split"))
+        assert entropy > 0
+
+    def test_stage_entropy_zero_after_completion(self, quantifier):
+        job = SequenceSortingApplication().sample_job("j0", 0.0, make_rng(1))
+        stage = job.stage("ss_split")
+        stage.mark_running()
+        stage.tasks[0].mark_running(0.0, "e")
+        stage.tasks[0].mark_finished(1.0)
+        job.notify_stage_finished("ss_split", 1.0)
+        assert quantifier.stage_entropy(job, stage) == 0.0
+
+    def test_dynamic_stage_entropy_from_candidates(self, quantifier):
+        app = TaskAutomationApplication()
+        job = app.sample_job("j0", 0.0, make_rng(2))
+        entropy = quantifier.stage_entropy(job, job.stage(app.DYNAMIC_KEY))
+        assert entropy > 1.0  # several uncertain candidates plus edges
+
+    def test_uncertainty_reduction_and_flag(self, quantifier):
+        app = TaskAutomationApplication()
+        job = app.sample_job("j0", 0.0, make_rng(3))
+        plan_stage = job.stage(app.PLAN_KEY)
+        assert quantifier.is_uncertainty_reducing(job, plan_stage)
+        assert quantifier.uncertainty_reduction(job, plan_stage) > 0

@@ -1,0 +1,62 @@
+"""Tests for dynamic-stage candidate sets and entropy."""
+
+import pytest
+
+from repro.dag.dynamic import DynamicPlan, StageCandidate, dynamic_stage_entropy
+
+
+class TestStageCandidate:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            StageCandidate(name="tool", selection_probability=1.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            StageCandidate(name="tool", mean_duration=-1.0)
+
+
+class TestDynamicPlan:
+    def test_valid_plan(self):
+        plan = DynamicPlan(
+            selected=["a", "b"],
+            dependencies=[("a", "b")],
+            durations={"a": 1.0, "b": 2.0},
+        )
+        assert plan.num_stages == 2
+        assert plan.total_duration == pytest.approx(3.0)
+
+    def test_dependency_on_unselected_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicPlan(selected=["a"], dependencies=[("a", "b")], durations={"a": 1.0})
+
+    def test_missing_duration_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicPlan(selected=["a"], durations={})
+
+    def test_empty_plan(self):
+        plan = DynamicPlan()
+        assert plan.num_stages == 0
+        assert plan.total_duration == 0.0
+
+
+class TestDynamicStageEntropy:
+    def test_deterministic_candidates_zero_node_entropy(self):
+        candidates = [
+            StageCandidate(name="a", selection_probability=1.0),
+            StageCandidate(name="b", selection_probability=0.0),
+        ]
+        assert dynamic_stage_entropy(candidates, edge_probability=0.0) == pytest.approx(0.0)
+
+    def test_maximal_uncertainty(self):
+        candidates = [StageCandidate(name=f"c{i}", selection_probability=0.5) for i in range(3)]
+        # 3 nodes at 1 bit each + 3 possible edges at 1 bit each.
+        assert dynamic_stage_entropy(candidates, edge_probability=0.5) == pytest.approx(6.0)
+
+    def test_entropy_increases_with_candidates(self):
+        few = [StageCandidate(name="a", selection_probability=0.5)]
+        many = [StageCandidate(name=f"c{i}", selection_probability=0.5) for i in range(4)]
+        assert dynamic_stage_entropy(many, 0.5) > dynamic_stage_entropy(few, 0.5)
+
+    def test_invalid_edge_probability(self):
+        with pytest.raises(ValueError):
+            dynamic_stage_entropy([], edge_probability=2.0)

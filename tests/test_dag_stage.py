@@ -1,0 +1,107 @@
+"""Tests for stages."""
+
+import pytest
+
+from repro.dag.stage import Stage, StageSpec, StageState, StageType
+from repro.dag.task import TaskType
+
+
+def make_stage(stage_type=StageType.LLM, durations=(3.0, 4.0), **kwargs):
+    spec = StageSpec(stage_id="s0", stage_type=stage_type, name="stage", num_tasks=len(durations))
+    return Stage(spec, job_id="j0", task_durations=durations, **kwargs)
+
+
+class TestSpec:
+    def test_negative_num_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(stage_id="s", stage_type=StageType.REGULAR, num_tasks=-1)
+
+    def test_profile_key_defaults_to_stage_id(self):
+        spec = StageSpec(stage_id="s1", stage_type=StageType.LLM)
+        assert spec.key == "s1"
+        spec2 = StageSpec(stage_id="s1", stage_type=StageType.LLM, profile_key="llm_gen")
+        assert spec2.key == "llm_gen"
+
+
+class TestConstruction:
+    def test_llm_stage_creates_llm_tasks(self):
+        stage = make_stage(StageType.LLM)
+        assert all(t.task_type is TaskType.LLM for t in stage.tasks)
+        assert stage.is_llm
+
+    def test_regular_stage_creates_regular_tasks(self):
+        stage = make_stage(StageType.REGULAR)
+        assert all(t.task_type is TaskType.REGULAR for t in stage.tasks)
+
+    def test_dynamic_stage_flag(self):
+        stage = make_stage(StageType.DYNAMIC, durations=())
+        assert stage.is_dynamic
+
+    def test_total_work(self):
+        assert make_stage(durations=(3.0, 4.0)).total_work == pytest.approx(7.0)
+
+    def test_duration_zero_when_not_executing(self):
+        stage = make_stage(durations=(3.0,), will_execute=False)
+        assert stage.duration == 0.0
+
+
+class TestLifecycle:
+    def test_ready_running_finished(self):
+        stage = make_stage(durations=(1.0,))
+        assert stage.state is StageState.BLOCKED
+        stage.mark_ready()
+        stage.mark_running()
+        task = stage.tasks[0]
+        task.mark_running(0.0, "e")
+        task.mark_finished(1.0)
+        stage.mark_finished(1.0)
+        assert stage.is_complete
+        assert stage.executed_duration == pytest.approx(1.0)
+
+    def test_cannot_finish_with_unfinished_tasks(self):
+        stage = make_stage(durations=(1.0,))
+        stage.mark_ready()
+        with pytest.raises(RuntimeError):
+            stage.mark_finished(1.0)
+
+    def test_cannot_mark_ready_twice(self):
+        stage = make_stage()
+        stage.mark_ready()
+        with pytest.raises(RuntimeError):
+            stage.mark_ready()
+
+    def test_skip_pending_stage(self):
+        stage = make_stage(durations=(5.0,), will_execute=False)
+        stage.mark_ready()
+        stage.mark_skipped(3.0)
+        assert stage.state is StageState.SKIPPED
+        assert stage.executed_duration == 0.0
+        assert stage.is_complete
+
+    def test_skip_is_idempotent_for_complete_stages(self):
+        stage = make_stage(durations=(5.0,), will_execute=False)
+        stage.mark_ready()
+        stage.mark_skipped(3.0)
+        stage.mark_skipped(4.0)
+        assert stage.finish_time == 3.0
+
+    def test_cannot_skip_started_stage(self):
+        stage = make_stage(durations=(5.0,))
+        stage.mark_ready()
+        stage.mark_running()
+        stage.tasks[0].mark_running(0.0, "e")
+        with pytest.raises(RuntimeError):
+            stage.mark_skipped(1.0)
+
+    def test_executed_duration_none_until_complete(self):
+        stage = make_stage()
+        assert stage.executed_duration is None
+
+    def test_pending_and_running_task_views(self):
+        stage = make_stage(durations=(1.0, 2.0))
+        assert len(stage.pending_tasks()) == 2
+        stage.mark_ready()
+        stage.mark_running()
+        stage.tasks[0].mark_running(0.0, "e")
+        assert len(stage.pending_tasks()) == 1
+        assert len(stage.running_tasks()) == 1

@@ -1,0 +1,110 @@
+"""Tests for the experiment runner plumbing (sizing, priors, comparisons)."""
+
+import pytest
+
+from repro.core.llmsched import LLMSchedConfig
+from repro.experiments.runner import (
+    ComparisonResult,
+    ExperimentSettings,
+    PAPER_BASELINES,
+    build_priors,
+    build_profiler,
+    run_comparison,
+    run_single,
+    size_cluster_for_workload,
+)
+from repro.simulator.metrics import SimulationMetrics
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+
+#: Tiny settings so every experiment-level test stays fast.
+TINY = ExperimentSettings(profile_jobs=30, prior_samples=15, llmsched=LLMSchedConfig(seed=0))
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    applications = default_applications()
+    priors = build_priors(applications, TINY)
+    profiler = build_profiler(applications, TINY)
+    return applications, priors, profiler
+
+
+class TestSettings:
+    def test_invalid_target_load(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(target_load=0.0)
+        with pytest.raises(ValueError):
+            ExperimentSettings(target_load=2.5)
+
+    def test_paper_baseline_order(self):
+        assert PAPER_BASELINES == ["fcfs", "sjf", "fair", "argus", "decima", "carbyne"]
+
+
+class TestPreparation:
+    def test_priors_cover_all_applications(self, prepared):
+        applications, priors, _ = prepared
+        for name in applications:
+            assert priors.knows(name)
+            assert priors.mean_duration(name) > 0
+
+    def test_profiler_covers_all_applications(self, prepared):
+        applications, _, profiler = prepared
+        assert set(profiler.applications) == set(applications)
+
+    def test_cluster_sizing_scales_with_workload(self, prepared):
+        applications, _, _ = prepared
+        heavy = size_cluster_for_workload(
+            WorkloadSpec(WorkloadType.PREDEFINED, num_jobs=50, arrival_rate=0.9), applications, TINY
+        )
+        light = size_cluster_for_workload(
+            WorkloadSpec(WorkloadType.PLANNING, num_jobs=50, arrival_rate=0.9), applications, TINY
+        )
+        # Predefined jobs carry far more LLM work per job than planning jobs.
+        assert heavy.num_llm_executors > light.num_llm_executors
+        assert light.num_regular_executors >= 2
+
+    def test_cluster_sizing_scales_with_arrival_rate(self, prepared):
+        applications, _, _ = prepared
+        slow = size_cluster_for_workload(
+            WorkloadSpec(WorkloadType.MIXED, num_jobs=50, arrival_rate=0.5), applications, TINY
+        )
+        fast = size_cluster_for_workload(
+            WorkloadSpec(WorkloadType.MIXED, num_jobs=50, arrival_rate=1.5), applications, TINY
+        )
+        assert fast.num_llm_executors >= slow.num_llm_executors
+
+
+class TestRuns:
+    def test_run_single_produces_metrics(self, prepared):
+        applications, priors, profiler = prepared
+        spec = WorkloadSpec(WorkloadType.CHAIN, num_jobs=15, arrival_rate=1.0, seed=2)
+        metrics = run_single(
+            "fcfs", spec, applications=applications, settings=TINY, priors=priors, profiler=profiler
+        )
+        assert isinstance(metrics, SimulationMetrics)
+        assert len(metrics.job_completion_times) == 15
+
+    @pytest.mark.parametrize(
+        "name", ["llmsched", "llmsched_wo_bn", "llmsched_wo_uncertainty", "llmsched_wo_calibration"]
+    )
+    def test_llmsched_variants_run(self, prepared, name):
+        applications, priors, profiler = prepared
+        spec = WorkloadSpec(WorkloadType.PLANNING, num_jobs=12, arrival_rate=1.0, seed=3)
+        metrics = run_single(
+            name, spec, applications=applications, settings=TINY, priors=priors, profiler=profiler
+        )
+        assert metrics.scheduler_name == name
+        assert len(metrics.job_completion_times) == 12
+
+    def test_run_comparison_shares_workload_draw(self, prepared):
+        applications, priors, profiler = prepared
+        spec = WorkloadSpec(WorkloadType.MIXED, num_jobs=18, arrival_rate=1.2, seed=4)
+        result = run_comparison(
+            spec, ["fcfs", "sjf"], applications=applications, settings=TINY,
+            priors=priors, profiler=profiler,
+        )
+        assert isinstance(result, ComparisonResult)
+        assert set(result.average_jcts()) == {"fcfs", "sjf"}
+        normalized = result.normalized_to("fcfs")
+        assert normalized["fcfs"] == pytest.approx(1.0)
+        improvement = result.improvement_over("fcfs", target="sjf")
+        assert improvement == pytest.approx(1.0 - normalized["sjf"])

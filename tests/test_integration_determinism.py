@@ -1,0 +1,63 @@
+"""Cross-module integration invariants: determinism and capacity limits."""
+
+import pytest
+
+from repro.core.llmsched import LLMSchedConfig, LLMSchedScheduler
+from repro.core.profiler import BayesianProfiler
+from repro.dag.task import TaskState
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.engine import SimulationEngine
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications, generate_workload
+
+
+def run_once(scheduler_factory, seed=5, num_jobs=25):
+    applications = default_applications()
+    spec = WorkloadSpec(workload_type=WorkloadType.MIXED, num_jobs=num_jobs, arrival_rate=1.2, seed=seed)
+    jobs = generate_workload(spec, applications=applications)
+    cluster = Cluster(ClusterConfig(num_regular_executors=4, num_llm_executors=2, max_batch_size=4))
+    engine = SimulationEngine(jobs, scheduler_factory(), cluster=cluster, workload_name="mixed")
+    metrics = engine.run()
+    return jobs, cluster, metrics
+
+
+class TestDeterminism:
+    def test_fcfs_is_reproducible(self):
+        _, _, first = run_once(FcfsScheduler)
+        _, _, second = run_once(FcfsScheduler)
+        assert first.job_completion_times == pytest.approx(second.job_completion_times)
+        assert first.makespan == pytest.approx(second.makespan)
+
+    def test_llmsched_is_reproducible(self):
+        profiler = BayesianProfiler().fit(default_applications().values(), n_profile_jobs=40, seed=0)
+
+        def factory():
+            return LLMSchedScheduler(profiler, LLMSchedConfig(seed=3))
+
+        _, _, first = run_once(factory)
+        _, _, second = run_once(factory)
+        assert first.job_completion_times == pytest.approx(second.job_completion_times)
+
+
+class TestExecutionInvariants:
+    def test_all_executed_tasks_finish_and_capacity_respected(self):
+        jobs, cluster, metrics = run_once(FcfsScheduler)
+        # Every job finished, every non-skipped task reached FINISHED exactly once.
+        for job in jobs:
+            assert job.is_finished
+            assert job.jct is not None and job.jct >= 0
+            for stage in job.stages.values():
+                if stage.state.value == "finished":
+                    assert all(t.state is TaskState.FINISHED for t in stage.tasks)
+                    for task in stage.tasks:
+                        assert task.finish_time is not None
+                        assert task.finish_time >= task.start_time
+                        assert task.start_time >= job.arrival_time - 1e-9
+                elif stage.state.value == "skipped":
+                    assert all(t.state is TaskState.PENDING for t in stage.tasks)
+        # Executors end the run empty.
+        assert all(e.is_idle for e in cluster.regular_executors)
+        assert all(e.is_idle for e in cluster.llm_executors)
+        # Utilisation fractions are physical.
+        assert 0.0 <= metrics.utilization["llm"] <= 1.0 + 1e-9
+        assert 0.0 <= metrics.utilization["regular"] <= 1.0 + 1e-9

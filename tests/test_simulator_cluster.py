@@ -1,0 +1,99 @@
+"""Tests for the cluster (executor pools and placement)."""
+
+import pytest
+
+from repro.dag.task import Task, TaskType
+from repro.simulator.cluster import Cluster, ClusterConfig
+
+
+def regular_task(work=1.0):
+    return Task(job_id="j", stage_id="s", task_type=TaskType.REGULAR, work=work)
+
+
+def llm_task(work=1.0):
+    return Task(job_id="j", stage_id="s", task_type=TaskType.LLM, work=work)
+
+
+class TestClusterConfig:
+    def test_defaults_valid(self):
+        config = ClusterConfig()
+        assert config.num_llm_executors >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_regular_executors": 0},
+            {"num_llm_executors": 0},
+            {"max_batch_size": 0},
+            {"latency_slope": -0.1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterConfig(**kwargs)
+
+
+class TestPlacement:
+    def make_cluster(self):
+        return Cluster(ClusterConfig(num_regular_executors=2, num_llm_executors=2, max_batch_size=2))
+
+    def test_capacity_accounting(self):
+        cluster = self.make_cluster()
+        assert cluster.free_regular_slots() == 2
+        assert cluster.free_llm_slots() == 4
+
+    def test_regular_placement_until_full(self):
+        cluster = self.make_cluster()
+        assert cluster.assign_regular_task(regular_task(), 0.0) is not None
+        assert cluster.assign_regular_task(regular_task(), 0.0) is not None
+        assert cluster.assign_regular_task(regular_task(), 0.0) is None
+        assert cluster.free_regular_slots() == 0
+
+    def test_llm_placement_is_least_loaded(self):
+        cluster = self.make_cluster()
+        first = cluster.assign_llm_task(llm_task(), 0.0)
+        second = cluster.assign_llm_task(llm_task(), 0.0)
+        assert first != second  # balanced across the two executors
+
+    def test_llm_placement_until_full(self):
+        cluster = self.make_cluster()
+        for _ in range(4):
+            assert cluster.assign_llm_task(llm_task(), 0.0) is not None
+        assert cluster.assign_llm_task(llm_task(), 0.0) is None
+
+    def test_wrong_task_type_rejected(self):
+        cluster = self.make_cluster()
+        with pytest.raises(ValueError):
+            cluster.assign_regular_task(llm_task(), 0.0)
+        with pytest.raises(ValueError):
+            cluster.assign_llm_task(regular_task(), 0.0)
+
+
+class TestTimeKeeping:
+    def test_next_completion_across_pools(self):
+        cluster = Cluster(ClusterConfig(num_regular_executors=1, num_llm_executors=1, max_batch_size=2, latency_slope=0.0))
+        cluster.assign_regular_task(regular_task(work=5.0), 0.0)
+        cluster.assign_llm_task(llm_task(work=2.0), 0.0)
+        completion = cluster.next_completion()
+        assert completion is not None
+        time, task, executor_id = completion
+        assert time == pytest.approx(2.0)
+        assert task.task_type is TaskType.LLM
+        assert executor_id.startswith("llm")
+
+    def test_next_completion_none_when_idle(self):
+        cluster = Cluster(ClusterConfig())
+        assert cluster.next_completion() is None
+
+    def test_utilization(self):
+        cluster = Cluster(ClusterConfig(num_regular_executors=1, num_llm_executors=1, max_batch_size=2))
+        cluster.assign_regular_task(regular_task(work=2.0), 0.0)
+        executor = cluster.regular_executors[0]
+        executor.finish_current(2.0)
+        util = cluster.utilization(horizon=4.0)
+        assert util["regular"] == pytest.approx(0.5)
+        assert util["llm"] == 0.0
+
+    def test_zero_horizon_utilization(self):
+        cluster = Cluster(ClusterConfig())
+        assert cluster.utilization(0.0) == {"regular": 0.0, "llm": 0.0}

@@ -1,0 +1,48 @@
+"""Tests for simulation metrics."""
+
+import pytest
+
+from repro.simulator.metrics import SimulationMetrics
+
+
+class TestSimulationMetrics:
+    def test_average_jct(self):
+        metrics = SimulationMetrics()
+        metrics.record_job_completion("a", "app1", 10.0)
+        metrics.record_job_completion("b", "app2", 20.0)
+        assert metrics.average_jct == pytest.approx(15.0)
+
+    def test_empty_average_jct_is_zero(self):
+        assert SimulationMetrics().average_jct == 0.0
+
+    def test_negative_jct_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationMetrics().record_job_completion("a", "app", -1.0)
+
+    def test_overhead_in_milliseconds(self):
+        metrics = SimulationMetrics()
+        metrics.record_scheduler_invocation(0.002)
+        metrics.record_scheduler_invocation(0.004)
+        assert metrics.average_scheduling_overhead_ms == pytest.approx(3.0)
+        assert metrics.num_scheduler_invocations == 2
+
+    def test_overhead_zero_without_invocations(self):
+        assert SimulationMetrics().average_scheduling_overhead_ms == 0.0
+
+    def test_jct_by_application(self):
+        metrics = SimulationMetrics()
+        metrics.record_job_completion("a", "app1", 10.0)
+        metrics.record_job_completion("b", "app1", 30.0)
+        metrics.record_job_completion("c", "app2", 5.0)
+        breakdown = metrics.jct_by_application()
+        assert breakdown["app1"] == pytest.approx(20.0)
+        assert breakdown["app2"] == pytest.approx(5.0)
+
+    def test_to_dict_contains_key_fields(self):
+        metrics = SimulationMetrics(scheduler_name="sjf", workload_name="mixed")
+        metrics.record_job_completion("a", "app", 4.0)
+        summary = metrics.to_dict()
+        assert summary["scheduler"] == "sjf"
+        assert summary["workload"] == "mixed"
+        assert summary["num_jobs"] == 1
+        assert summary["average_jct"] == pytest.approx(4.0)
