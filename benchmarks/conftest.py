@@ -5,10 +5,27 @@ scale so the whole suite completes in minutes; the paper-scale runs are
 available through each experiment module's CLI (see EXPERIMENTS.md).
 """
 
+import os
+
 import pytest
 
 from repro.core.llmsched import LLMSchedConfig
 from repro.experiments.runner import ExperimentSettings
+
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench`` so the default test
+    run can deselect it with ``-m "not bench"`` (markers in pytest.ini).
+
+    The hook sees the whole session's items, so filter to this directory.
+    """
+    for item in items:
+        path = os.path.abspath(str(item.fspath))
+        if path.startswith(_BENCH_DIR + os.sep):
+            item.add_marker(pytest.mark.bench)
 
 
 #: Reduced-scale settings shared by all benchmark runs: fewer profiling jobs

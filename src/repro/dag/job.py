@@ -44,6 +44,14 @@ class Job:
         # trigger stage id -> stage ids that become visible when it completes
         self._reveals: Dict[str, List[str]] = {}
         self._finalized = False
+        # Structure caches: the DAG is frozen at finalize(), so the
+        # topological order and depth table are computed at most once.
+        self._caching = True
+        self._topo_cache: Optional[List[str]] = None
+        self._depth_cache: Optional[Dict[str, int]] = None
+        # Schedulable-stage cache: invalidated by advance() and by the
+        # simulator whenever it places tasks (see invalidate_schedulable_cache).
+        self._sched_cache: Optional[List[Stage]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -58,6 +66,8 @@ class Job:
             )
         self._stages[stage.stage_id] = stage
         self._graph.add_node(stage.stage_id)
+        self._topo_cache = None
+        self._depth_cache = None
 
     def add_dependency(self, parent_id: str, child_id: str) -> None:
         self._require_not_finalized()
@@ -70,6 +80,8 @@ class Job:
         if not nx.is_directed_acyclic_graph(self._graph):
             self._graph.remove_edge(parent_id, child_id)
             raise ValueError(f"dependency {parent_id!r} -> {child_id!r} would create a cycle")
+        self._topo_cache = None
+        self._depth_cache = None
 
     def add_reveal(self, trigger_stage_id: str, revealed_stage_id: str) -> None:
         """Declare that completing ``trigger`` makes ``revealed`` visible."""
@@ -115,16 +127,37 @@ class Job:
         return list(self._graph.edges)
 
     def topological_order(self) -> List[str]:
-        return list(nx.topological_sort(self._graph))
+        if self._topo_cache is None:
+            order = list(nx.topological_sort(self._graph))
+            if not self._caching:
+                return order
+            self._topo_cache = order
+        return list(self._topo_cache)
 
     def stage_depth(self, stage_id: str) -> int:
         """Length of the longest path from any root to the stage (roots = 0)."""
-        order = self.topological_order()
-        depth = {sid: 0 for sid in order}
-        for sid in order:
-            for child in self._graph.successors(sid):
-                depth[child] = max(depth[child], depth[sid] + 1)
-        return depth[stage_id]
+        if self._depth_cache is None:
+            order = self.topological_order()
+            depth = {sid: 0 for sid in order}
+            for sid in order:
+                for child in self._graph.successors(sid):
+                    depth[child] = max(depth[child], depth[sid] + 1)
+            if not self._caching:
+                return depth[stage_id]
+            self._depth_cache = depth
+        return self._depth_cache[stage_id]
+
+    def set_structure_caching(self, enabled: bool) -> None:
+        """Toggle the topology / schedulable-stage caches.
+
+        The caches are on by default and are semantically transparent; the
+        only reason to disable them is to reproduce the seed cost model when
+        benchmarking the fast engine against the reference engine.
+        """
+        self._caching = bool(enabled)
+        self._topo_cache = None
+        self._depth_cache = None
+        self._sched_cache = None
 
     # ------------------------------------------------------------------ #
     # Scheduler-facing views
@@ -133,15 +166,31 @@ class Job:
         return [s for s in self._stages.values() if s.visible]
 
     def schedulable_stages(self) -> List[Stage]:
-        """Visible stages that are ready/running and still have pending tasks."""
+        """Visible stages that are ready/running and still have pending tasks.
+
+        The result is cached between DAG state changes; every path that can
+        change the schedulable set (``advance`` and task placement by the
+        simulator) invalidates the cache, so the returned list is always
+        current.  Treat it as read-only: it may be the cache itself.
+        """
+        cache = self._sched_cache
+        if cache is not None:
+            return cache
         self._require_finalized()
-        return [
+        stages = [
             s
             for s in self._stages.values()
             if s.visible
             and s.state in (StageState.READY, StageState.RUNNING)
             and s.pending_tasks()
         ]
+        if self._caching:
+            self._sched_cache = stages
+        return stages
+
+    def invalidate_schedulable_cache(self) -> None:
+        """Drop the cached schedulable-stage set (after task placement)."""
+        self._sched_cache = None
 
     def schedulable_tasks(self) -> List[Task]:
         return [t for s in self.schedulable_stages() for t in s.pending_tasks()]
@@ -211,6 +260,7 @@ class Job:
         """
         if not self._finalized:
             raise RuntimeError(f"job {self.job_id} is not finalized yet")
+        self._sched_cache = None
         changed: List[str] = []
         progressed = True
         while progressed:

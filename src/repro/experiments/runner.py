@@ -1,9 +1,19 @@
-"""Shared experiment plumbing: cluster sizing, profiling, comparison runs."""
+"""Shared experiment plumbing: cluster sizing, profiling, comparison runs.
+
+Besides the single-run helpers, this module provides the scale-out layer of
+the experiment harness: :func:`run_cells_parallel` executes scheduler ×
+workload cells in separate processes (each worker builds and caches the
+profiler once), and :func:`sweep_arrival_rates` fans a comparison out over
+a grid of arrival rates — the load-sensitivity axis of the paper's
+evaluation.  Open-loop (streamed) workloads from
+:mod:`repro.workloads.arrivals` run through :func:`run_single_open_loop`.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +30,7 @@ from repro.simulator.engine import SimulationEngine
 from repro.simulator.latency import DecodingLatencyProfile
 from repro.simulator.metrics import SimulationMetrics
 from repro.utils.rng import make_rng
+from repro.workloads.arrivals import OpenLoopSpec
 from repro.workloads.mixtures import (
     WorkloadSpec,
     WorkloadType,
@@ -30,11 +41,16 @@ from repro.workloads.mixtures import (
 __all__ = [
     "ExperimentSettings",
     "ComparisonResult",
+    "SweepCell",
     "build_priors",
     "build_profiler",
+    "size_cluster",
     "size_cluster_for_workload",
     "run_single",
+    "run_single_open_loop",
     "run_comparison",
+    "run_cells_parallel",
+    "sweep_arrival_rates",
     "PAPER_BASELINES",
 ]
 
@@ -124,6 +140,16 @@ def size_cluster_for_workload(
     applications: Mapping[str, ApplicationTemplate],
     settings: Optional[ExperimentSettings] = None,
 ) -> ClusterConfig:
+    """Size executor pools for a closed-loop workload spec."""
+    return size_cluster(spec.arrival_rate, spec.application_names, applications, settings)
+
+
+def size_cluster(
+    arrival_rate: float,
+    application_names: Sequence[str],
+    applications: Mapping[str, ApplicationTemplate],
+    settings: Optional[ExperimentSettings] = None,
+) -> ClusterConfig:
     """Size executor pools so the cluster runs at roughly ``target_load``.
 
     The offered load is estimated from the applications' mean LLM / regular
@@ -135,7 +161,7 @@ def size_cluster_for_workload(
     rng = make_rng(settings.profiler_seed + 1)
     llm_work_per_job: List[float] = []
     regular_work_per_job: List[float] = []
-    names = spec.application_names
+    names = list(application_names)
     for name in names:
         app = applications[name]
         for i in range(30):
@@ -152,8 +178,8 @@ def size_cluster_for_workload(
     profile = DecodingLatencyProfile(slope=settings.latency_slope)
     llm_capacity = settings.max_batch_size / profile.latency(settings.max_batch_size)
 
-    llm_rate = spec.arrival_rate * mean_llm
-    regular_rate = spec.arrival_rate * mean_regular
+    llm_rate = arrival_rate * mean_llm
+    regular_rate = arrival_rate * mean_regular
     num_llm = max(1, int(round(llm_rate / (settings.target_load * llm_capacity))))
     # Regular executors (containers) are cheap compared to GPU-backed LLM
     # executors, so they get ~25% headroom: contention concentrates on the
@@ -259,3 +285,156 @@ def run_comparison(
             cluster_config=cluster_config,
         )
     return ComparisonResult(workload=spec, metrics=metrics)
+
+
+def run_single_open_loop(
+    scheduler_name: str,
+    open_spec: OpenLoopSpec,
+    applications: Optional[Mapping[str, ApplicationTemplate]] = None,
+    settings: Optional[ExperimentSettings] = None,
+    priors: Optional[ApplicationPriors] = None,
+    profiler: Optional[BayesianProfiler] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    nominal_rate: Optional[float] = None,
+) -> SimulationMetrics:
+    """Run one scheduler against a streamed (open-loop) arrival process.
+
+    Jobs are generated lazily from ``open_spec`` and admitted one at a time,
+    so the workload is never materialized.  Cluster sizing needs an arrival
+    rate; pass ``nominal_rate`` (or an explicit ``cluster_config``) because a
+    general arrival process has no single rate attribute.
+    """
+    settings = settings or ExperimentSettings()
+    applications = applications or default_applications()
+    priors = priors or build_priors(applications, settings)
+    profiler = profiler or build_profiler(applications, settings)
+    if cluster_config is None:
+        if nominal_rate is None:
+            rate = getattr(open_spec.process, "rate", None)
+            if rate is None:
+                raise ValueError(
+                    "open-loop sizing needs nominal_rate (or cluster_config) for "
+                    f"{type(open_spec.process).__name__}"
+                )
+            nominal_rate = float(rate)
+        names = open_spec.application_names or sorted(applications)
+        cluster_config = size_cluster(nominal_rate, names, applications, settings)
+
+    scheduler = _make_scheduler(scheduler_name, priors, profiler, settings)
+    engine = SimulationEngine(
+        open_spec.jobs(dict(applications)),
+        scheduler,
+        cluster=Cluster(cluster_config),
+        workload_name=open_spec.name,
+    )
+    return engine.run()
+
+
+# --------------------------------------------------------------------------- #
+# Parallel sweeps
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepCell:
+    """One scheduler × workload cell of a sweep grid (picklable).
+
+    ``cluster_config`` pins the cluster; when ``None`` the cell sizes its
+    own cluster from the spec's arrival rate (constant-load sweeps).  Pass
+    a fixed config to measure congestion on constant hardware instead.
+    """
+
+    scheduler_name: str
+    spec: WorkloadSpec
+    cluster_config: Optional[ClusterConfig] = None
+
+
+#: Per-worker-process cache: profiler fitting is the expensive part of a
+#: cell, and it only depends on the settings, so each worker builds it once.
+_WORKER_STATE: Dict[Tuple, tuple] = {}
+
+
+def _worker_state(settings: ExperimentSettings):
+    key = (settings.profile_jobs, settings.prior_samples, settings.profiler_seed)
+    if key not in _WORKER_STATE:
+        applications = default_applications()
+        priors = build_priors(applications, settings)
+        profiler = build_profiler(applications, settings)
+        _WORKER_STATE[key] = (applications, priors, profiler)
+    return _WORKER_STATE[key]
+
+
+def _run_cell(args: Tuple[SweepCell, ExperimentSettings]) -> Tuple[SweepCell, SimulationMetrics]:
+    cell, settings = args
+    applications, priors, profiler = _worker_state(settings)
+    metrics = run_single(
+        cell.scheduler_name,
+        cell.spec,
+        applications=applications,
+        settings=settings,
+        priors=priors,
+        profiler=profiler,
+        cluster_config=cell.cluster_config,
+    )
+    return cell, metrics
+
+
+def run_cells_parallel(
+    cells: Sequence[SweepCell],
+    settings: Optional[ExperimentSettings] = None,
+    processes: Optional[int] = None,
+) -> List[Tuple[SweepCell, SimulationMetrics]]:
+    """Run scheduler × workload cells, fanned out over worker processes.
+
+    ``processes=None`` uses one worker per CPU (capped at the cell count);
+    ``processes=1`` runs serially in-process, which is also the fallback
+    when the platform cannot fork/spawn workers.
+    """
+    settings = settings or ExperimentSettings()
+    if not cells:
+        return []
+    if processes is None:
+        processes = min(len(cells), multiprocessing.cpu_count())
+    payload = [(cell, settings) for cell in cells]
+    if processes <= 1:
+        return [_run_cell(item) for item in payload]
+    try:
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(_run_cell, payload)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed platforms
+        return [_run_cell(item) for item in payload]
+
+
+def sweep_arrival_rates(
+    arrival_rates: Sequence[float],
+    scheduler_names: Sequence[str],
+    base_spec: Optional[WorkloadSpec] = None,
+    settings: Optional[ExperimentSettings] = None,
+    processes: Optional[int] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+) -> Dict[float, ComparisonResult]:
+    """Compare schedulers across a grid of arrival rates, in parallel.
+
+    Every (scheduler, rate) cell is an independent simulation; within one
+    rate all schedulers see the identical workload draw and cluster sizing,
+    so the per-rate :class:`ComparisonResult` is a fair comparison.  By
+    default each rate sizes its own cluster (constant load, the paper's
+    methodology); pass ``cluster_config`` to pin the hardware and measure
+    congestion as the rate grows.
+    """
+    if not arrival_rates:
+        raise ValueError("arrival_rates must not be empty")
+    if not scheduler_names:
+        raise ValueError("scheduler_names must not be empty")
+    base_spec = base_spec or WorkloadSpec()
+    cells = [
+        SweepCell(name, replace(base_spec, arrival_rate=float(rate)), cluster_config)
+        for rate in arrival_rates
+        for name in scheduler_names
+    ]
+    results = run_cells_parallel(cells, settings=settings, processes=processes)
+    by_rate: Dict[float, ComparisonResult] = {}
+    for cell, metrics in results:
+        rate = cell.spec.arrival_rate
+        if rate not in by_rate:
+            by_rate[rate] = ComparisonResult(workload=cell.spec, metrics={})
+        by_rate[rate].metrics[cell.scheduler_name] = metrics
+    return by_rate

@@ -22,8 +22,10 @@ from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.engine import SimulationEngine, SimulationConfig
 from repro.simulator.events import EventQueue, SimulationEvent
+from repro.simulator.reference import ReferenceSimulationEngine
 
 __all__ = [
+    "ReferenceSimulationEngine",
     "DecodingLatencyProfile",
     "RegularExecutor",
     "LLMExecutor",

@@ -1,8 +1,17 @@
-"""The cluster: pools of regular and LLM executors."""
+"""The cluster: pools of regular and LLM executors.
+
+Capacity accounting is incremental: the cluster maintains a free-slot
+counter per pool and a min-heap of idle regular-executor indices, so the
+simulation engine's hot path (`free capacity?`, `place a task`, `finish a
+task`) never scans the executor pools.  The counters stay exact as long as
+assignments *and* completions go through the cluster (``assign_*_task`` /
+``finish_*_task``); poking executors directly bypasses the bookkeeping.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.dag.task import Task, TaskType
@@ -56,6 +65,16 @@ class Cluster:
         self._by_id: Dict[str, object] = {
             e.executor_id: e for e in (*self.regular_executors, *self.llm_executors)
         }
+        self._regular_index: Dict[str, int] = {
+            e.executor_id: i for i, e in enumerate(self.regular_executors)
+        }
+        self._llm_index: Dict[str, int] = {
+            e.executor_id: i for i, e in enumerate(self.llm_executors)
+        }
+        # Incremental capacity state (see module docstring).
+        self._idle_regular_heap: List[int] = list(range(len(self.regular_executors)))
+        self._free_regular = len(self.regular_executors)
+        self._free_llm = config.max_batch_size * len(self.llm_executors)
 
     # ------------------------------------------------------------------ #
     # Capacity
@@ -64,27 +83,38 @@ class Cluster:
         return [e for e in self.regular_executors if e.is_idle]
 
     def free_llm_slots(self) -> int:
-        return sum(e.free_slots for e in self.llm_executors)
+        return self._free_llm
 
     def free_regular_slots(self) -> int:
-        return len(self.idle_regular_executors())
+        return self._free_regular
 
     def executor(self, executor_id: str):
         return self._by_id[executor_id]
+
+    def regular_index(self, executor_id: str) -> int:
+        """Pool index of a regular executor (for event bookkeeping)."""
+        return self._regular_index[executor_id]
+
+    def llm_index(self, executor_id: str) -> int:
+        """Pool index of an LLM executor (for dirty-set bookkeeping)."""
+        return self._llm_index[executor_id]
 
     # ------------------------------------------------------------------ #
     # Placement
     # ------------------------------------------------------------------ #
     def assign_regular_task(self, task: Task, time: float) -> Optional[str]:
-        """Place a regular task on an idle regular executor (None if full)."""
+        """Place a regular task on the lowest-index idle executor (None if full)."""
         if task.task_type is not TaskType.REGULAR:
             raise ValueError("assign_regular_task expects a regular task")
-        idle = self.idle_regular_executors()
-        if not idle:
-            return None
-        executor = idle[0]
-        executor.assign(task, time)
-        return executor.executor_id
+        while self._idle_regular_heap:
+            index = heapq.heappop(self._idle_regular_heap)
+            executor = self.regular_executors[index]
+            if not executor.is_idle:
+                continue  # stale entry (executor was mutated directly)
+            executor.assign(task, time)
+            self._free_regular -= 1
+            return executor.executor_id
+        return None
 
     def assign_llm_task(self, task: Task, time: float) -> Optional[str]:
         """Place an LLM task on the least-loaded LLM executor (None if full).
@@ -99,7 +129,26 @@ class Cluster:
             return None
         executor = min(candidates, key=lambda e: (e.batch_size, e.executor_id))
         executor.add_task(task, time)
+        self._free_llm -= 1
         return executor.executor_id
+
+    # ------------------------------------------------------------------ #
+    # Completion (keeps the incremental capacity state in sync)
+    # ------------------------------------------------------------------ #
+    def finish_regular_task(self, executor: RegularExecutor, time: float) -> Task:
+        """Complete the executor's current task and return it to the idle pool."""
+        task = executor.finish_current(time)
+        heapq.heappush(self._idle_regular_heap, self._regular_index[executor.executor_id])
+        self._free_regular += 1
+        return task
+
+    def finish_llm_task(
+        self, executor: LLMExecutor, task: Task, time: float, eps: float = 1e-6
+    ) -> Task:
+        """Complete ``task`` on ``executor`` and free its batch slot."""
+        executor.finish_task(task, time, eps=eps)
+        self._free_llm += 1
+        return task
 
     # ------------------------------------------------------------------ #
     # Time keeping
@@ -110,7 +159,12 @@ class Cluster:
             executor.advance_to(time)
 
     def next_completion(self) -> Optional[Tuple[float, Task, str]]:
-        """Earliest upcoming task completion across all executors."""
+        """Earliest upcoming task completion across all executors.
+
+        This is the full scan; the simulation engine keeps its own indexed
+        view (completion-event heap + per-LLM-executor cache) and only falls
+        back to this for diagnostics and tests.
+        """
         best: Optional[Tuple[float, Task, str]] = None
         for executor in self.regular_executors:
             completion = executor.completion_time()

@@ -1,28 +1,58 @@
-"""The discrete-event simulation engine.
+"""The discrete-event simulation engine (indexed fast path).
 
 The engine owns the clock, the cluster and the job set; the scheduling
-policy is pluggable.  Because LLM executors' progress rates depend on the
-current batch composition, task completion times are *recomputed from
-executor state* every iteration instead of being enqueued ahead of time —
-queued completion events would go stale whenever the batch changes.
+policy is pluggable.  Scheduling points are job arrivals and task
+completions.  At every scheduling point the engine snapshots the cluster,
+invokes the scheduler (timing the call for the scheduling-overhead numbers
+of the paper's Table I) and greedily places tasks from the returned
+preference lists onto free capacity.
 
-Scheduling points: job arrivals and task completions.  At every scheduling
-point the engine snapshots the cluster, invokes the scheduler (timing the
-call for the scheduling-overhead numbers of the paper's Table I) and
-greedily places tasks from the returned preference lists onto free capacity.
+Event core
+----------
+The original engine rescanned every executor at every iteration.  This
+implementation keeps indexed state instead:
+
+* **Regular executors** — completion events live in a min-heap
+  (:class:`~repro.simulator.events.EventQueue`) pushed at placement time.
+  Entries are lazily invalidated: a popped/peeked entry whose executor no
+  longer runs a task with that completion time is discarded.
+* **LLM executors** — a per-request completion time depends on the batch
+  composition, but the *absolute* finish time of the earliest-finishing
+  request is invariant under progress accrual while the batch is unchanged.
+  The engine therefore caches one candidate completion time per LLM
+  executor and keeps a *dirty set* of executors whose batch changed; only
+  dirty executors are rescanned.
+* **Jobs** — active jobs live in an insertion-ordered dict keyed by job id,
+  so membership tests and completion removal are O(1).
+* **Capacity** — free-slot counts are maintained incrementally by the
+  :class:`~repro.simulator.cluster.Cluster`, so building a
+  :class:`~repro.schedulers.base.SchedulingContext` does not recompute
+  cluster state.
+
+Open-loop workloads
+-------------------
+``jobs`` may be a materialized sequence (closed loop, sorted internally) or
+any iterator/generator yielding jobs in non-decreasing arrival order (open
+loop, e.g. :func:`repro.workloads.arrivals.open_loop_jobs`).  Streamed jobs
+are admitted lazily and dropped from the engine's indexes once they
+complete, so the heavy per-job state (DAG, stages, tasks) only exists for
+*concurrently active* jobs.  What still grows with the total job count is
+O(1) per job: the seen-id set (duplicate detection) and the per-job JCT
+entries in :class:`SimulationMetrics`.
 """
 
 from __future__ import annotations
 
 import time as wallclock
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.dag.job import Job
-from repro.dag.stage import Stage, StageState
+from repro.dag.stage import StageState
 from repro.dag.task import Task, TaskType
 from repro.schedulers.base import Scheduler, SchedulingContext
 from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.events import EventQueue, EventType
 from repro.simulator.metrics import SimulationMetrics
 
 __all__ = ["SimulationConfig", "SimulationEngine"]
@@ -32,16 +62,24 @@ _EPS = 1e-9
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Safety limits and bookkeeping knobs for a simulation run."""
+    """Safety limits and bookkeeping knobs for a simulation run.
+
+    ``eps`` is the shared tolerance used for time comparisons and for the
+    remaining-work threshold below which an LLM task counts as finished
+    (previously a hard-coded ``1e-6`` in the completion scan).
+    """
 
     max_simulated_time: float = 10_000_000.0
     max_iterations: int = 20_000_000
+    eps: float = _EPS
 
     def __post_init__(self) -> None:
         if self.max_simulated_time <= 0:
             raise ValueError("max_simulated_time must be > 0")
         if self.max_iterations <= 0:
             raise ValueError("max_iterations must be > 0")
+        if self.eps <= 0:
+            raise ValueError("eps must be > 0")
 
 
 class SimulationEngine:
@@ -49,30 +87,45 @@ class SimulationEngine:
 
     def __init__(
         self,
-        jobs: Sequence[Job],
+        jobs: Iterable[Job],
         scheduler: Scheduler,
         cluster: Optional[Cluster] = None,
         cluster_config: Optional[ClusterConfig] = None,
         config: Optional[SimulationConfig] = None,
         workload_name: str = "",
     ) -> None:
-        if not jobs:
-            raise ValueError("cannot simulate an empty job list")
         if cluster is None:
             cluster = Cluster(cluster_config or ClusterConfig())
         self.cluster = cluster
         self.scheduler = scheduler
         self.config = config or SimulationConfig()
-        self._jobs: List[Job] = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
-        self._jobs_by_id: Dict[str, Job] = {j.job_id: j for j in self._jobs}
-        if len(self._jobs_by_id) != len(self._jobs):
-            raise ValueError("duplicate job ids in workload")
+        if isinstance(jobs, Sequence):
+            if not jobs:
+                raise ValueError("cannot simulate an empty job list")
+            ordered = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+            if len({j.job_id for j in ordered}) != len(ordered):
+                raise ValueError("duplicate job ids in workload")
+            self._arrivals: Iterator[Job] = iter(ordered)
+        else:
+            self._arrivals = iter(jobs)
         self.metrics = SimulationMetrics(
             scheduler_name=scheduler.name, workload_name=workload_name
         )
         self._time = 0.0
-        self._arrival_index = 0
-        self._active_jobs: List[Job] = []
+        self._active_jobs: Dict[str, Job] = {}
+        self._seen_job_ids: Set[str] = set()
+        self._last_arrival_time = 0.0
+        self._next_arrival: Optional[Job] = None
+        self._pull_arrival()
+
+        # Indexed event core (see module docstring).  For LLM executors the
+        # cache holds the earliest-finishing *task*: its identity is stable
+        # while the batch is unchanged, whereas its absolute finish time is
+        # re-derived from current executor state on every query so the clock
+        # stays bit-identical with the reference engine's full rescans.
+        self._regular_events = EventQueue()
+        self._llm_best: List[Optional[Task]] = [None] * len(cluster.llm_executors)
+        self._dirty_llm: Set[int] = set(range(len(cluster.llm_executors)))
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -80,7 +133,7 @@ class SimulationEngine:
     def run(self) -> SimulationMetrics:
         """Execute the workload to completion and return the metrics."""
         iterations = 0
-        while self._arrival_index < len(self._jobs) or self._active_jobs:
+        while self._next_arrival is not None or self._active_jobs:
             iterations += 1
             if iterations > self.config.max_iterations:
                 raise RuntimeError("simulation exceeded max_iterations; likely a livelock")
@@ -98,6 +151,7 @@ class SimulationEngine:
             self.cluster.advance_to(self._time)
             self._process_completions(self._time)
 
+        self.metrics.num_events = iterations
         self.metrics.makespan = self._time
         self.metrics.utilization = self.cluster.utilization(max(self._time, _EPS))
         return self.metrics
@@ -106,21 +160,39 @@ class SimulationEngine:
     def current_time(self) -> float:
         return self._time
 
+    @property
+    def num_active_jobs(self) -> int:
+        """Jobs admitted and not yet finished (open-loop memory footprint)."""
+        return len(self._active_jobs)
+
     # ------------------------------------------------------------------ #
     # Arrivals
     # ------------------------------------------------------------------ #
+    def _pull_arrival(self) -> None:
+        self._next_arrival = next(self._arrivals, None)
+        if self._next_arrival is None:
+            return
+        job = self._next_arrival
+        if job.job_id in self._seen_job_ids:
+            raise ValueError(f"duplicate job id {job.job_id!r} in arrival stream")
+        self._seen_job_ids.add(job.job_id)
+        if job.arrival_time < self._last_arrival_time - self.config.eps:
+            raise ValueError(
+                f"arrival stream is not time-ordered: job {job.job_id!r} arrives at "
+                f"{job.arrival_time} after {self._last_arrival_time}"
+            )
+        self._last_arrival_time = max(self._last_arrival_time, job.arrival_time)
+
     def _admit_arrivals(self, now: float) -> None:
-        while (
-            self._arrival_index < len(self._jobs)
-            and self._jobs[self._arrival_index].arrival_time <= now + _EPS
-        ):
-            job = self._jobs[self._arrival_index]
-            self._arrival_index += 1
+        eps = self.config.eps
+        while self._next_arrival is not None and self._next_arrival.arrival_time <= now + eps:
+            job = self._next_arrival
+            self._pull_arrival()
             if job.is_finished:
                 # Degenerate jobs (everything skipped) complete on arrival.
                 self._record_job_completion(job)
                 continue
-            self._active_jobs.append(job)
+            self._active_jobs[job.job_id] = job
             self.scheduler.on_job_arrival(job, now)
 
     # ------------------------------------------------------------------ #
@@ -129,7 +201,7 @@ class SimulationEngine:
     def _build_context(self) -> SchedulingContext:
         return SchedulingContext(
             time=self._time,
-            jobs=list(self._active_jobs),
+            jobs=list(self._active_jobs.values()),
             free_regular_slots=self.cluster.free_regular_slots(),
             free_llm_slots=self.cluster.free_llm_slots(),
             llm_batch_sizes=[e.batch_size for e in self.cluster.llm_executors],
@@ -165,48 +237,119 @@ class SimulationEngine:
             )
         if task.state.name != "PENDING":
             return  # Already placed by an earlier (duplicate) preference entry.
-        job = self._jobs_by_id.get(task.job_id)
-        if job is None or job not in self._active_jobs:
+        job = self._active_jobs.get(task.job_id)
+        if job is None:
             return
         stage = job.stage(task.stage_id)
         if stage.state not in (StageState.READY, StageState.RUNNING) or not stage.visible:
             return  # Not actually schedulable; ignore the preference entry.
         if expected_type is TaskType.REGULAR:
             placed = self.cluster.assign_regular_task(task, self._time)
+            if placed is not None:
+                index = self.cluster.regular_index(placed)
+                finish = self.cluster.regular_executors[index].completion_time()
+                self._regular_events.push(finish, EventType.TASK_FINISH, index)
         else:
             placed = self.cluster.assign_llm_task(task, self._time)
+            if placed is not None:
+                self._dirty_llm.add(self.cluster.llm_index(placed))
         if placed is not None:
             stage.mark_running()
+            job.invalidate_schedulable_cache()
 
     # ------------------------------------------------------------------ #
     # Time advance and completions
     # ------------------------------------------------------------------ #
+    def _peek_regular_completion(self) -> Optional[float]:
+        """Earliest valid regular completion, discarding stale heap entries."""
+        queue = self._regular_events
+        eps = self.config.eps
+        while queue:
+            event = queue.peek()
+            executor = self.cluster.regular_executors[event.payload]
+            completion = executor.completion_time()
+            if completion is None or abs(completion - event.time) > eps:
+                queue.pop()  # lazy invalidation
+                continue
+            return event.time
+        return None
+
+    def _llm_completion_time(self, index: int) -> Optional[float]:
+        """Cached candidate completion time of one LLM executor."""
+        task = self._llm_best[index]
+        if task is None:
+            return None
+        return self.cluster.llm_executors[index].completion_time_of(task)
+
+    def _next_llm_completion(self) -> Optional[float]:
+        """Earliest LLM completion; only dirty executors are rescanned."""
+        if self._dirty_llm:
+            for index in self._dirty_llm:
+                upcoming = self.cluster.llm_executors[index].next_completion()
+                self._llm_best[index] = None if upcoming is None else upcoming[1]
+            self._dirty_llm.clear()
+        best: Optional[float] = None
+        for index in range(len(self._llm_best)):
+            completion = self._llm_completion_time(index)
+            if completion is not None and (best is None or completion < best):
+                best = completion
+        return best
+
     def _next_event_time(self) -> Optional[float]:
         candidates: List[float] = []
-        completion = self.cluster.next_completion()
-        if completion is not None:
-            candidates.append(completion[0])
-        if self._arrival_index < len(self._jobs):
-            candidates.append(self._jobs[self._arrival_index].arrival_time)
+        regular = self._peek_regular_completion()
+        if regular is not None:
+            candidates.append(regular)
+        llm = self._next_llm_completion()
+        if llm is not None:
+            candidates.append(llm)
+        if self._next_arrival is not None:
+            candidates.append(self._next_arrival.arrival_time)
         if not candidates:
             return None
         return min(candidates)
 
     def _process_completions(self, now: float) -> None:
+        eps = self.config.eps
         finished_tasks: List[Task] = []
-        for executor in self.cluster.regular_executors:
+
+        # Regular executors: pop every due completion event.  Same-time
+        # completions finish in pool order, matching the original full scan.
+        due: List[int] = []
+        queue = self._regular_events
+        while queue and queue.peek().time <= now + eps:
+            event = queue.pop()
+            executor = self.cluster.regular_executors[event.payload]
             completion = executor.completion_time()
-            if completion is not None and completion <= now + _EPS:
-                finished_tasks.append(executor.finish_current(now))
-        for executor in self.cluster.llm_executors:
+            if completion is None or completion > now + eps:
+                continue  # stale entry
+            due.append(event.payload)
+        for index in sorted(set(due)):
+            executor = self.cluster.regular_executors[index]
+            finished_tasks.append(self.cluster.finish_regular_task(executor, now))
+
+        # LLM executors: the cached candidate is the batch's least-remaining
+        # task (progress was accrued by advance_to), so the executor can hold
+        # finished requests only if that task's remaining work is within eps.
+        # Gating on remaining work — not on the candidate completion *time* —
+        # matches the reference engine's sweep rule exactly: with batch > 1
+        # and a positive latency slope the progress rate is < 1, and a task
+        # with remaining work in (eps * rate, eps] must still finish *now*.
+        for index, executor in enumerate(self.cluster.llm_executors):
+            candidate = self._llm_best[index]
+            if candidate is None or candidate.remaining_work > eps:
+                continue
             for task in list(executor.running):
-                if task.remaining_work <= 1e-6:
-                    executor.finish_task(task, now)
+                if task.remaining_work <= eps:
+                    self.cluster.finish_llm_task(executor, task, now, eps=eps)
                     finished_tasks.append(task)
+            self._dirty_llm.add(index)
 
         for task in finished_tasks:
             self.metrics.num_tasks_executed += 1
-            job = self._jobs_by_id[task.job_id]
+            job = self._active_jobs.get(task.job_id)
+            if job is None:  # pragma: no cover - defensive; jobs outlive their tasks
+                continue
             stage = job.stage(task.stage_id)
             if stage.all_tasks_finished() and stage.state is StageState.RUNNING:
                 job.notify_stage_finished(stage.stage_id, now)
@@ -219,13 +362,12 @@ class SimulationEngine:
             raise RuntimeError(f"job {job.job_id} has no completion time")
         self.metrics.record_job_completion(job.job_id, job.application, job.jct)
         self.scheduler.on_job_complete(job, self._time)
-        if job in self._active_jobs:
-            self._active_jobs.remove(job)
+        self._active_jobs.pop(job.job_id, None)
 
     # ------------------------------------------------------------------ #
     def _check_for_deadlock(self) -> None:
         """Raise if jobs remain but nothing can ever make progress again."""
-        stuck = [j for j in self._active_jobs if not j.is_finished]
+        stuck = [j for j in self._active_jobs.values() if not j.is_finished]
         if not stuck:
             return
         pending = sum(len(j.schedulable_tasks()) for j in stuck)

@@ -131,17 +131,32 @@ class LLMExecutor:
         """
         if not self.running:
             return None
-        rate = self.latency_profile.speed(self.batch_size)
         best_task = min(self.running, key=lambda t: (t.remaining_work, t.uid))
-        finish_time = self._last_update + best_task.remaining_work / rate
-        return finish_time, best_task
+        return self.completion_time_of(best_task), best_task
 
-    def finish_task(self, task: Task, time: float) -> None:
-        """Complete ``task`` at ``time`` and remove it from the batch."""
+    def completion_time_of(self, task: Task) -> float:
+        """Absolute finish time of ``task`` if the batch stays as it is now.
+
+        While the batch composition is unchanged, every request progresses at
+        the same rate, so the earliest-finishing *task* stays the same even
+        though progress accrues; the engine's fast path caches that task and
+        re-derives its finish time from current executor state with this
+        method (the same arithmetic as :meth:`next_completion`).
+        """
+        rate = self.latency_profile.speed(self.batch_size)
+        return self._last_update + task.remaining_work / rate
+
+    def finish_task(self, task: Task, time: float, eps: float = 1e-6) -> None:
+        """Complete ``task`` at ``time`` and remove it from the batch.
+
+        ``eps`` is the remaining-work tolerance below which a task counts as
+        done; the simulation engine passes its configured epsilon through so
+        the engine and the executor agree on what "finished" means.
+        """
         if task not in self.running:
             raise RuntimeError(f"task {task.key()} is not running on {self.executor_id}")
         self.advance_to(time)
-        if task.remaining_work > 1e-6:
+        if task.remaining_work > eps:
             raise RuntimeError(
                 f"task {task.key()} still has {task.remaining_work:.6f}s of work"
             )

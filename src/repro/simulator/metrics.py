@@ -23,6 +23,9 @@ class SimulationMetrics:
     scheduling_overhead: OnlineStats = field(default_factory=OnlineStats)
     num_scheduler_invocations: int = 0
     num_tasks_executed: int = 0
+    #: Scheduling points the engine processed (arrival/completion events);
+    #: the throughput benchmark reports simulated events per second from it.
+    num_events: int = 0
 
     # ------------------------------------------------------------------ #
     def record_job_completion(self, job_id: str, application: str, jct: float) -> None:
@@ -71,6 +74,7 @@ class SimulationMetrics:
             "p95_jct": self.jct_summary()["p95"],
             "avg_overhead_ms": self.average_scheduling_overhead_ms,
             "scheduler_invocations": self.num_scheduler_invocations,
+            "num_events": self.num_events,
             "llm_utilization": self.utilization.get("llm", 0.0),
             "regular_utilization": self.utilization.get("regular", 0.0),
         }

@@ -32,8 +32,26 @@ from repro.workloads.mixtures import (
     generate_workload,
     poisson_arrival_times,
 )
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    DiurnalProcess,
+    OpenLoopSpec,
+    PoissonProcess,
+    TraceReplayProcess,
+    open_loop_jobs,
+    superpose,
+)
 
 __all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "BurstyProcess",
+    "DiurnalProcess",
+    "TraceReplayProcess",
+    "superpose",
+    "OpenLoopSpec",
+    "open_loop_jobs",
     "LatentScaledDuration",
     "sample_lognormal",
     "SyntheticSequenceDataset",

@@ -7,13 +7,18 @@ from repro.experiments.runner import (
     ComparisonResult,
     ExperimentSettings,
     PAPER_BASELINES,
+    SweepCell,
     build_priors,
     build_profiler,
+    run_cells_parallel,
     run_comparison,
     run_single,
+    run_single_open_loop,
     size_cluster_for_workload,
+    sweep_arrival_rates,
 )
 from repro.simulator.metrics import SimulationMetrics
+from repro.workloads.arrivals import OpenLoopSpec, PoissonProcess
 from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
 
 #: Tiny settings so every experiment-level test stays fast.
@@ -108,3 +113,53 @@ class TestRuns:
         assert normalized["fcfs"] == pytest.approx(1.0)
         improvement = result.improvement_over("fcfs", target="sjf")
         assert improvement == pytest.approx(1.0 - normalized["sjf"])
+
+    def test_run_single_open_loop(self, prepared):
+        applications, priors, profiler = prepared
+        spec = OpenLoopSpec(process=PoissonProcess(rate=1.0, seed=5), seed=5, max_jobs=15)
+        metrics = run_single_open_loop(
+            "fcfs", spec, applications=applications, settings=TINY,
+            priors=priors, profiler=profiler,
+        )
+        assert len(metrics.job_completion_times) == 15
+        assert metrics.workload_name == "open_loop"
+
+    def test_open_loop_sizing_requires_a_rate(self, prepared):
+        applications, priors, profiler = prepared
+        spec = OpenLoopSpec(process=PoissonProcess(rate=1.0, seed=5).take(5), seed=5)
+        with pytest.raises(ValueError, match="nominal_rate"):
+            run_single_open_loop(
+                "fcfs", spec, applications=applications, settings=TINY,
+                priors=priors, profiler=profiler,
+            )
+
+
+class TestParallelSweeps:
+    def test_run_cells_parallel_matches_serial(self):
+        spec = WorkloadSpec(WorkloadType.MIXED, num_jobs=10, arrival_rate=1.0, seed=6)
+        cells = [SweepCell("fcfs", spec), SweepCell("sjf", spec)]
+        serial = run_cells_parallel(cells, settings=TINY, processes=1)
+        parallel = run_cells_parallel(cells, settings=TINY, processes=2)
+        assert [c.scheduler_name for c, _ in serial] == [c.scheduler_name for c, _ in parallel]
+        for (_, a), (_, b) in zip(serial, parallel):
+            # Workers must reproduce the in-process results bit for bit.
+            assert a.job_completion_times == b.job_completion_times
+
+    def test_sweep_arrival_rates_groups_by_rate(self):
+        base = WorkloadSpec(WorkloadType.MIXED, num_jobs=10, arrival_rate=1.0, seed=6)
+        results = sweep_arrival_rates(
+            [0.8, 1.6], ["fcfs", "sjf"], base_spec=base, settings=TINY, processes=2
+        )
+        assert set(results) == {0.8, 1.6}
+        for rate, comparison in results.items():
+            assert comparison.workload.arrival_rate == rate
+            assert set(comparison.metrics) == {"fcfs", "sjf"}
+            assert all(
+                len(m.job_completion_times) == 10 for m in comparison.metrics.values()
+            )
+
+    def test_sweep_validates_inputs(self):
+        with pytest.raises(ValueError):
+            sweep_arrival_rates([], ["fcfs"])
+        with pytest.raises(ValueError):
+            sweep_arrival_rates([1.0], [])

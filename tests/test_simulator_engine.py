@@ -187,12 +187,148 @@ class TestDynamicWorkloads:
         assert 0 < metrics.utilization["llm"] <= 1.0
 
 
+class TestScale:
+    def test_1k_concurrent_jobs_complete(self):
+        """Regression for the former O(n) active-job list: 1000 jobs arriving
+        at once must run through the job index without quadratic scans."""
+        jobs = []
+        for i in range(1000):
+            job = Job(f"j{i:04d}", "tiny", 0.0)
+            job.add_stage(make_stage(f"j{i:04d}", "llm", StageType.LLM, [0.5]))
+            job.finalize()
+            jobs.append(job)
+        cluster = small_cluster(num_llm_executors=4, max_batch_size=64, latency_slope=0.0)
+        metrics = SimulationEngine(jobs, FcfsScheduler(), cluster=cluster).run()
+        assert len(metrics.job_completion_times) == 1000
+        assert metrics.num_tasks_executed == 1000
+
+
+class TestOpenLoopStreaming:
+    def job_stream(self, count, gap=0.25):
+        for i in range(count):
+            yield simple_job(f"s{i:04d}", arrival=i * gap)
+
+    def test_generator_workload_runs_to_completion(self):
+        cluster = small_cluster(num_regular_executors=2, max_batch_size=4)
+        engine = SimulationEngine(self.job_stream(50), FcfsScheduler(), cluster=cluster)
+        metrics = engine.run()
+        assert len(metrics.job_completion_times) == 50
+        assert engine.num_active_jobs == 0
+
+    def test_streamed_jobs_match_materialized_run(self):
+        materialized = SimulationEngine(
+            [simple_job(f"s{i:04d}", arrival=i * 0.25) for i in range(30)],
+            FcfsScheduler(),
+            cluster=small_cluster(num_regular_executors=2, max_batch_size=4),
+        ).run()
+        streamed = SimulationEngine(
+            self.job_stream(30),
+            FcfsScheduler(),
+            cluster=small_cluster(num_regular_executors=2, max_batch_size=4),
+        ).run()
+        assert streamed.job_completion_times == materialized.job_completion_times
+        assert streamed.makespan == materialized.makespan
+
+    def test_completed_jobs_released_from_engine_index(self):
+        engine = SimulationEngine(
+            self.job_stream(40, gap=2.0),  # sparse arrivals: ~1 active at a time
+            FcfsScheduler(),
+            cluster=small_cluster(),
+        )
+        peak = 0
+        original = engine._admit_arrivals
+
+        def tracking_admit(now):
+            nonlocal peak
+            original(now)
+            peak = max(peak, engine.num_active_jobs)
+
+        engine._admit_arrivals = tracking_admit
+        metrics = engine.run()
+        assert len(metrics.job_completion_times) == 40
+        assert peak <= 3  # far below 40: the stream was never materialized
+
+    def test_out_of_order_stream_rejected(self):
+        def bad_stream():
+            yield simple_job("a", arrival=5.0)
+            yield simple_job("b", arrival=1.0)
+
+        engine = SimulationEngine(bad_stream(), FcfsScheduler(), cluster=small_cluster())
+        with pytest.raises(ValueError, match="not time-ordered"):
+            engine.run()
+
+    def test_duplicate_ids_in_stream_rejected(self):
+        def dup_stream():
+            yield simple_job("a", arrival=0.0)
+            yield simple_job("a", arrival=1.0)
+
+        engine = SimulationEngine(dup_stream(), FcfsScheduler(), cluster=small_cluster())
+        with pytest.raises(ValueError, match="duplicate job id"):
+            engine.run()
+
+
 class TestSimulationConfig:
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
             SimulationConfig(max_simulated_time=0)
         with pytest.raises(ValueError):
             SimulationConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(eps=0)
+
+    def llm_only_job(self, job_id, work):
+        job = Job(job_id, "llm_only", 0.0)
+        job.add_stage(make_stage(job_id, "llm", StageType.LLM, [work]))
+        job.finalize()
+        return job
+
+    def test_eps_knob_controls_llm_completion_threshold(self):
+        # Two batched LLM tasks finishing 5e-4s apart: with a coarse eps the
+        # near-finished task is swept up at the first completion event; with
+        # the default fine eps it gets its own later event.
+        def run(eps):
+            jobs = [self.llm_only_job("j0", 1.0), self.llm_only_job("j1", 1.0005)]
+            return SimulationEngine(
+                jobs,
+                FcfsScheduler(),
+                cluster=small_cluster(max_batch_size=2, latency_slope=0.0),
+                config=SimulationConfig(eps=eps),
+            ).run()
+
+        coarse = run(1e-2)
+        assert coarse.job_completion_times["j1"] == coarse.job_completion_times["j0"]
+        fine = run(1e-9)
+        assert fine.job_completion_times["j1"] > fine.job_completion_times["j0"]
+
+    def test_coarse_eps_sweep_matches_reference_engine(self):
+        # Regression: the fast path must gate LLM completion sweeps on the
+        # candidate task's *remaining work* (the reference rule), not on its
+        # completion time.  With batch 2 and slope 0.06 the progress rate is
+        # 1/1.06, so at the t=1.0 regular-completion event the LLM task
+        # below has remaining work 0.0099 <= eps but a completion time of
+        # ~1.0105 > now + eps; a time-based gate deferred it.
+        from repro.simulator.reference import ReferenceSimulationEngine
+
+        def build_jobs():
+            reg = Job("r0", "reg_only", 0.0)
+            reg.add_stage(make_stage("r0", "reg", StageType.REGULAR, [1.0]))
+            reg.finalize()
+            near = self.llm_only_job("l0", 0.9533)
+            far = self.llm_only_job("l1", 2.0)
+            return [reg, near, far]
+
+        def run(engine_cls):
+            return engine_cls(
+                build_jobs(),
+                FcfsScheduler(),
+                cluster=small_cluster(max_batch_size=2, latency_slope=0.06),
+                config=SimulationConfig(eps=1e-2),
+            ).run()
+
+        fast = run(SimulationEngine)
+        reference = run(ReferenceSimulationEngine)
+        assert fast.job_completion_times == reference.job_completion_times
+        assert fast.job_completion_times["l0"] == pytest.approx(1.0)
 
     def test_iteration_guard_triggers(self):
         job = simple_job("j0", 0.0)
