@@ -1,0 +1,50 @@
+"""Machine-readable benchmark results: BENCH_<PR>.json.
+
+Benchmarks print human-readable evidence with ``-s``; this module
+additionally persists the numbers so performance is tracked across PRs.
+Each benchmark records a named section; sections accumulate in one JSON
+file (default ``BENCH_2.json`` in the repo root, override with the
+``BENCH_OUTPUT`` environment variable).  CI uploads the file as a workflow
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+__all__ = ["record_bench_section", "bench_output_path"]
+
+_DEFAULT_FILENAME = "BENCH_2.json"
+
+
+def bench_output_path() -> str:
+    override = os.environ.get("BENCH_OUTPUT")
+    if override:
+        return override
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(repo_root, _DEFAULT_FILENAME)
+
+
+def record_bench_section(section: str, payload: Dict[str, object]) -> str:
+    """Merge ``payload`` under ``section`` in the benchmark results file.
+
+    Read-modify-write keeps sections from independent benchmark runs; the
+    scale tag records whether a section came from a smoke (CI) or full run.
+    """
+    path = bench_output_path()
+    data: Dict[str, object] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    enriched = dict(payload)
+    enriched.setdefault("scale", os.environ.get("BENCH_SCALE", "full"))
+    data[section] = enriched
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

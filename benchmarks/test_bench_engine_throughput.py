@@ -16,6 +16,7 @@ import time
 
 import pytest
 
+from bench_output import record_bench_section
 from repro.schedulers.fcfs import FcfsScheduler
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.engine import SimulationEngine
@@ -71,6 +72,18 @@ def test_bench_engine_throughput_vs_seed():
         f"fast {fast_events_per_sec:,.0f} events/s ({fast_elapsed:.2f}s), "
         f"speedup {speedup:.2f}x"
     )
+    record_bench_section(
+        "engine_throughput",
+        {
+            "closed_loop_jobs": CLOSED_LOOP_JOBS,
+            "seed_events_per_sec": ref_events_per_sec,
+            "fast_events_per_sec": fast_events_per_sec,
+            "seed_elapsed_sec": ref_elapsed,
+            "fast_elapsed_sec": fast_elapsed,
+            "speedup_vs_seed": speedup,
+            "min_required_speedup": MIN_SPEEDUP,
+        },
+    )
     assert speedup >= MIN_SPEEDUP, (
         f"fast engine is only {speedup:.2f}x faster than the seed engine "
         f"(required: {MIN_SPEEDUP}x)"
@@ -103,6 +116,15 @@ def test_bench_open_loop_stream_completes_without_materialization():
     print(
         f"\nopen-loop Poisson stream: {OPEN_LOOP_JOBS} jobs in {elapsed:.2f}s wall "
         f"({metrics.num_events / elapsed:,.0f} events/s), peak active jobs {peak_active}"
+    )
+    record_bench_section(
+        "open_loop_stream",
+        {
+            "jobs": OPEN_LOOP_JOBS,
+            "elapsed_sec": elapsed,
+            "events_per_sec": metrics.num_events / elapsed,
+            "peak_active_jobs": peak_active,
+        },
     )
     assert len(metrics.job_completion_times) == OPEN_LOOP_JOBS
     assert engine.num_active_jobs == 0

@@ -1,0 +1,85 @@
+"""Placement-layer overhead benchmark.
+
+PR 1 inlined greedy placement in the engine; PR 2 routes every placement
+through a pluggable policy and the pool abstraction.  This benchmark
+quantifies what that indirection costs on the identical workload:
+
+* ``default`` — the refactored engine with the default greedy policy on a
+  two-pool cluster (what every pre-existing experiment now runs), and
+* ``best_fit`` / multi-pool variants for the policy dispatch cost on a
+  heterogeneous four-pool layout.
+
+Results are printed with ``-s`` and recorded in ``BENCH_2.json``
+(``placement_overhead`` section) so the cost is tracked across PRs; the
+hard ≥3x-vs-seed floor lives in ``test_bench_engine_throughput.py``.
+"""
+
+import os
+import time
+
+from bench_output import record_bench_section
+from repro.dag.task import TaskType
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.placement import create_placement_policy
+from repro.simulator.pool import PoolSpec
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, generate_workload
+
+SMOKE = os.environ.get("BENCH_SCALE") == "smoke"
+NUM_JOBS = 80 if SMOKE else 400
+
+TWO_POOL = ClusterConfig(num_regular_executors=16, num_llm_executors=6, max_batch_size=8)
+FOUR_POOL = (
+    PoolSpec("cpu-a", TaskType.REGULAR, 8),
+    PoolSpec("cpu-b", TaskType.REGULAR, 8),
+    PoolSpec("gpu-a", TaskType.LLM, 3, max_batch_size=8),
+    PoolSpec("gpu-b", TaskType.LLM, 3, max_batch_size=8),
+)
+
+
+def workload():
+    spec = WorkloadSpec(
+        workload_type=WorkloadType.MIXED, num_jobs=NUM_JOBS, arrival_rate=2.0, seed=11
+    )
+    return generate_workload(spec)
+
+
+def timed(cluster, placement):
+    engine = SimulationEngine(workload(), FcfsScheduler(), cluster=cluster, placement=placement)
+    started = time.perf_counter()
+    metrics = engine.run()
+    elapsed = time.perf_counter() - started
+    return metrics, elapsed
+
+
+def test_bench_placement_layer_overhead():
+    results = {}
+    metrics_default, elapsed_default = timed(Cluster(TWO_POOL), None)
+    results["default_greedy_two_pool"] = {
+        "elapsed_sec": elapsed_default,
+        "events_per_sec": metrics_default.num_events / elapsed_default,
+    }
+    for name in ("greedy", "best_fit"):
+        metrics, elapsed = timed(Cluster(pools=FOUR_POOL), create_placement_policy(name))
+        results[f"{name}_four_pool"] = {
+            "elapsed_sec": elapsed,
+            "events_per_sec": metrics.num_events / elapsed,
+            "jobs_completed": len(metrics.job_completion_times),
+        }
+        assert len(metrics.job_completion_times) == NUM_JOBS
+
+    print(f"\nplacement-layer overhead ({NUM_JOBS} jobs closed-loop):")
+    for name, row in results.items():
+        print(f"  {name}: {row['events_per_sec']:,.0f} events/s ({row['elapsed_sec']:.2f}s)")
+    record_bench_section("placement_overhead", {"num_jobs": NUM_JOBS, **results})
+
+    # The policy indirection must stay in the noise: a four-pool cluster
+    # with explicit policies may not be drastically slower than the default
+    # two-pool fast path on the same workload.  Smoke runs (~70ms) are too
+    # noise-dominated for a wall-clock ratio, so the gate is full-scale only.
+    if not SMOKE:
+        slowest = max(row["elapsed_sec"] for row in results.values())
+        assert slowest <= elapsed_default * 3.0, (
+            f"placement layer costs {slowest / elapsed_default:.1f}x the default path"
+        )

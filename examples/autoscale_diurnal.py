@@ -1,0 +1,88 @@
+"""Autoscaling a heterogeneous cluster under a diurnal arrival process.
+
+Run with::
+
+    PYTHONPATH=src python examples/autoscale_diurnal.py
+
+The script streams jobs from a sinusoidal (diurnal) arrival process
+through the simulation engine twice on the same heterogeneous pool layout:
+once statically sized at the off-peak floor, and once with the threshold
+autoscaler resizing the pools every 20 simulated seconds.  It prints every
+pool resize event and compares the resulting job completion times.
+
+No profiler fitting is needed — the FCFS baseline keeps the example fast.
+"""
+
+from repro.dag.task import TaskType
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator import (
+    AutoscalerConfig,
+    Cluster,
+    PoolSpec,
+    SimulationEngine,
+    ThresholdAutoscaler,
+)
+from repro.workloads.arrivals import DiurnalProcess, open_loop_jobs
+
+#: Off-peak floor sizing: 2 CPU containers and 1 batched LLM engine.  The
+#: autoscaler may grow the pools to the max_executors ceilings at peak.
+POOLS = (
+    PoolSpec("cpu", TaskType.REGULAR, 2, min_executors=2, max_executors=24),
+    PoolSpec("gpu", TaskType.LLM, 1, max_batch_size=4, min_executors=1, max_executors=12),
+)
+
+#: One "day" is compressed to 600 simulated seconds so the example runs in
+#: moments; amplitude 0.9 swings the rate between 0.1x and 1.9x the mean.
+PROCESS = DiurnalProcess(mean_rate=1.0, amplitude=0.9, period=600.0, seed=3)
+NUM_JOBS = 150
+
+
+def run(autoscaler):
+    stream = open_loop_jobs(PROCESS, seed=3, max_jobs=NUM_JOBS)
+    engine = SimulationEngine(
+        stream,
+        FcfsScheduler(),
+        cluster=Cluster(pools=POOLS),
+        workload_name="diurnal",
+        autoscaler=autoscaler,
+    )
+    metrics = engine.run()
+    return engine, metrics
+
+
+def main() -> None:
+    autoscaler = ThresholdAutoscaler(
+        AutoscalerConfig(interval=20.0, scale_up_occupancy=0.85, scale_down_occupancy=0.25, step=2)
+    )
+    _, static_metrics = run(None)
+    engine, elastic_metrics = run(autoscaler)
+
+    print(f"Diurnal arrivals: {NUM_JOBS} jobs, mean rate 1.0/s, period 600 s")
+    print("\nScale events (elastic run):")
+    for event in elastic_metrics.scale_events:
+        direction = "up" if event["delta"] > 0 else "down"
+        print(
+            f"  t={event['time']:7.1f}s  {event['pool']:>4s} scale-{direction} "
+            f"{event['delta']:+d}  (occupancy {event['occupancy']:.2f}, "
+            f"backlog {event['backlog']})"
+        )
+    final = {pool.name: pool.num_active_executors for pool in engine.cluster.pools}
+    print(f"\nFinal pool sizes: {final}")
+
+    print("\n              static floor    autoscaled")
+    print(
+        f"  avg JCT    {static_metrics.average_jct:10.2f} s  {elastic_metrics.average_jct:10.2f} s"
+    )
+    print(
+        f"  p95 JCT    {static_metrics.jct_summary()['p95']:10.2f} s  "
+        f"{elastic_metrics.jct_summary()['p95']:10.2f} s"
+    )
+    print(
+        f"  makespan   {static_metrics.makespan:10.2f} s  {elastic_metrics.makespan:10.2f} s"
+    )
+    improvement = 1.0 - elastic_metrics.average_jct / static_metrics.average_jct
+    print(f"\nAutoscaling reduces the average JCT by {improvement:.1%} at the diurnal peak")
+
+
+if __name__ == "__main__":
+    main()

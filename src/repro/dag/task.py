@@ -52,6 +52,7 @@ class Task:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     executor_id: Optional[str] = None
+    num_preemptions: int = 0
 
     def __post_init__(self) -> None:
         require_non_negative(self.work, "work")
@@ -85,6 +86,26 @@ class Task:
         if amount < -1e-9:
             raise ValueError("cannot advance by a negative amount")
         self.progress = min(self.work, self.progress + max(0.0, amount))
+
+    def mark_preempted(self, checkpoint: bool = True) -> float:
+        """Checkpoint the task back to PENDING so it can be placed again.
+
+        With ``checkpoint=True`` the accrued ``progress`` is conserved (the
+        task resumes with only its remaining work); otherwise progress is
+        discarded and the task restarts from scratch.  Returns the amount
+        of work wasted (0 for a checkpointed preemption).
+        """
+        if self.state is not TaskState.RUNNING:
+            raise RuntimeError(f"task {self.uid} cannot be preempted from state {self.state}")
+        wasted = 0.0
+        if not checkpoint:
+            wasted = self.progress
+            self.progress = 0.0
+        self.state = TaskState.PENDING
+        self.start_time = None
+        self.executor_id = None
+        self.num_preemptions += 1
+        return wasted
 
     def mark_finished(self, time: float) -> None:
         if self.state is not TaskState.RUNNING:

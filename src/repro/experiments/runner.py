@@ -25,10 +25,13 @@ from repro.schedulers.base import Scheduler
 from repro.schedulers.priors import ApplicationPriors
 from repro.schedulers.registry import create_scheduler
 from repro.schedulers.srtf import SrtfScheduler
+from repro.simulator.autoscaler import AutoscalerConfig, ThresholdAutoscaler
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.latency import DecodingLatencyProfile
 from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.placement import PlacementPolicy, create_placement_policy
+from repro.simulator.pool import PoolSpec
 from repro.utils.rng import make_rng
 from repro.workloads.arrivals import OpenLoopSpec
 from repro.workloads.mixtures import (
@@ -51,6 +54,8 @@ __all__ = [
     "run_comparison",
     "run_cells_parallel",
     "sweep_arrival_rates",
+    "sweep_placement_policies",
+    "run_autoscaled_diurnal",
     "PAPER_BASELINES",
 ]
 
@@ -238,21 +243,32 @@ def run_single(
     priors: Optional[ApplicationPriors] = None,
     profiler: Optional[BayesianProfiler] = None,
     cluster_config: Optional[ClusterConfig] = None,
+    pools: Optional[Sequence[PoolSpec]] = None,
+    placement: Optional[PlacementPolicy] = None,
 ) -> SimulationMetrics:
-    """Run one scheduler on one workload draw and return its metrics."""
+    """Run one scheduler on one workload draw and return its metrics.
+
+    ``pools`` (a heterogeneous pool layout) overrides ``cluster_config``;
+    ``placement`` selects the placement policy (greedy first-fit default).
+    """
     settings = settings or ExperimentSettings()
     applications = applications or default_applications()
     priors = priors or build_priors(applications, settings)
     profiler = profiler or build_profiler(applications, settings)
-    cluster_config = cluster_config or size_cluster_for_workload(spec, applications, settings)
+    if pools is not None:
+        cluster = Cluster(pools=pools)
+    else:
+        cluster_config = cluster_config or size_cluster_for_workload(spec, applications, settings)
+        cluster = Cluster(cluster_config)
 
     jobs = generate_workload(spec, applications=applications)
     scheduler = _make_scheduler(scheduler_name, priors, profiler, settings)
     engine = SimulationEngine(
         jobs,
         scheduler,
-        cluster=Cluster(cluster_config),
+        cluster=cluster,
         workload_name=spec.workload_type.value,
+        placement=placement,
     )
     return engine.run()
 
@@ -296,36 +312,47 @@ def run_single_open_loop(
     profiler: Optional[BayesianProfiler] = None,
     cluster_config: Optional[ClusterConfig] = None,
     nominal_rate: Optional[float] = None,
+    pools: Optional[Sequence[PoolSpec]] = None,
+    placement: Optional[PlacementPolicy] = None,
+    autoscaler: Optional[ThresholdAutoscaler] = None,
 ) -> SimulationMetrics:
     """Run one scheduler against a streamed (open-loop) arrival process.
 
     Jobs are generated lazily from ``open_spec`` and admitted one at a time,
     so the workload is never materialized.  Cluster sizing needs an arrival
-    rate; pass ``nominal_rate`` (or an explicit ``cluster_config``) because a
-    general arrival process has no single rate attribute.
+    rate; pass ``nominal_rate`` (or an explicit ``cluster_config`` /
+    ``pools`` layout) because a general arrival process has no single rate
+    attribute.  ``autoscaler`` resizes pools at scale events (diurnal runs);
+    ``placement`` selects the placement policy.
     """
     settings = settings or ExperimentSettings()
     applications = applications or default_applications()
     priors = priors or build_priors(applications, settings)
     profiler = profiler or build_profiler(applications, settings)
-    if cluster_config is None:
-        if nominal_rate is None:
-            rate = getattr(open_spec.process, "rate", None)
-            if rate is None:
-                raise ValueError(
-                    "open-loop sizing needs nominal_rate (or cluster_config) for "
-                    f"{type(open_spec.process).__name__}"
-                )
-            nominal_rate = float(rate)
-        names = open_spec.application_names or sorted(applications)
-        cluster_config = size_cluster(nominal_rate, names, applications, settings)
+    if pools is not None:
+        cluster = Cluster(pools=pools)
+    else:
+        if cluster_config is None:
+            if nominal_rate is None:
+                rate = getattr(open_spec.process, "rate", None)
+                if rate is None:
+                    raise ValueError(
+                        "open-loop sizing needs nominal_rate (or cluster_config) for "
+                        f"{type(open_spec.process).__name__}"
+                    )
+                nominal_rate = float(rate)
+            names = open_spec.application_names or sorted(applications)
+            cluster_config = size_cluster(nominal_rate, names, applications, settings)
+        cluster = Cluster(cluster_config)
 
     scheduler = _make_scheduler(scheduler_name, priors, profiler, settings)
     engine = SimulationEngine(
         open_spec.jobs(dict(applications)),
         scheduler,
-        cluster=Cluster(cluster_config),
+        cluster=cluster,
         workload_name=open_spec.name,
+        placement=placement,
+        autoscaler=autoscaler,
     )
     return engine.run()
 
@@ -340,11 +367,17 @@ class SweepCell:
     ``cluster_config`` pins the cluster; when ``None`` the cell sizes its
     own cluster from the spec's arrival rate (constant-load sweeps).  Pass
     a fixed config to measure congestion on constant hardware instead.
+    ``pools`` (a tuple of :class:`~repro.simulator.pool.PoolSpec`) overrides
+    ``cluster_config`` with a heterogeneous layout, and
+    ``placement_policy`` names the placement policy for the cell (factory
+    names from :mod:`repro.simulator.placement`; None = greedy first-fit).
     """
 
     scheduler_name: str
     spec: WorkloadSpec
     cluster_config: Optional[ClusterConfig] = None
+    pools: Optional[Tuple[PoolSpec, ...]] = None
+    placement_policy: Optional[str] = None
 
 
 #: Per-worker-process cache: profiler fitting is the expensive part of a
@@ -365,6 +398,11 @@ def _worker_state(settings: ExperimentSettings):
 def _run_cell(args: Tuple[SweepCell, ExperimentSettings]) -> Tuple[SweepCell, SimulationMetrics]:
     cell, settings = args
     applications, priors, profiler = _worker_state(settings)
+    placement = (
+        create_placement_policy(cell.placement_policy)
+        if cell.placement_policy is not None
+        else None
+    )
     metrics = run_single(
         cell.scheduler_name,
         cell.spec,
@@ -373,6 +411,8 @@ def _run_cell(args: Tuple[SweepCell, ExperimentSettings]) -> Tuple[SweepCell, Si
         priors=priors,
         profiler=profiler,
         cluster_config=cell.cluster_config,
+        pools=cell.pools,
+        placement=placement,
     )
     return cell, metrics
 
@@ -438,3 +478,57 @@ def sweep_arrival_rates(
             by_rate[rate] = ComparisonResult(workload=cell.spec, metrics={})
         by_rate[rate].metrics[cell.scheduler_name] = metrics
     return by_rate
+
+
+def sweep_placement_policies(
+    policy_names: Sequence[str],
+    pools: Sequence[PoolSpec],
+    scheduler_name: str = "fcfs",
+    base_spec: Optional[WorkloadSpec] = None,
+    settings: Optional[ExperimentSettings] = None,
+    processes: Optional[int] = None,
+) -> Dict[str, SimulationMetrics]:
+    """Compare placement policies on one heterogeneous cluster layout.
+
+    Every policy sees the identical workload draw, scheduler and pool
+    layout, so differences isolate the placement decision.  Policies only
+    diverge on clusters with more than one pool per task type — pass a
+    heterogeneous ``pools`` layout.
+    """
+    if not policy_names:
+        raise ValueError("policy_names must not be empty")
+    base_spec = base_spec or WorkloadSpec()
+    cells = [
+        SweepCell(scheduler_name, base_spec, pools=tuple(pools), placement_policy=name)
+        for name in policy_names
+    ]
+    results = run_cells_parallel(cells, settings=settings, processes=processes)
+    return {cell.placement_policy: metrics for cell, metrics in results}
+
+
+def run_autoscaled_diurnal(
+    scheduler_name: str,
+    open_spec: OpenLoopSpec,
+    pools: Sequence[PoolSpec],
+    autoscaler_config: Optional[AutoscalerConfig] = None,
+    applications: Optional[Mapping[str, ApplicationTemplate]] = None,
+    settings: Optional[ExperimentSettings] = None,
+    priors: Optional[ApplicationPriors] = None,
+    profiler: Optional[BayesianProfiler] = None,
+) -> SimulationMetrics:
+    """Open-loop run with pool autoscaling enabled (diurnal-load cell).
+
+    Thin wrapper over :func:`run_single_open_loop` that builds the
+    :class:`~repro.simulator.autoscaler.ThresholdAutoscaler`; the returned
+    metrics carry the applied ``scale_events``.
+    """
+    return run_single_open_loop(
+        scheduler_name,
+        open_spec,
+        applications=applications,
+        settings=settings,
+        priors=priors,
+        profiler=profiler,
+        pools=pools,
+        autoscaler=ThresholdAutoscaler(autoscaler_config or AutoscalerConfig()),
+    )

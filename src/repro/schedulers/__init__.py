@@ -7,11 +7,13 @@ plain SRTF used by the ablation study.
 """
 
 from repro.schedulers.base import (
+    PreemptionDirective,
     Scheduler,
     SchedulingContext,
     SchedulingDecision,
     interleave_by_job,
 )
+from repro.schedulers.preemptive import PreemptiveSrtfScheduler
 from repro.schedulers.fcfs import FcfsScheduler
 from repro.schedulers.fair import FairScheduler
 from repro.schedulers.sjf import SjfScheduler
@@ -25,6 +27,8 @@ __all__ = [
     "Scheduler",
     "SchedulingContext",
     "SchedulingDecision",
+    "PreemptionDirective",
+    "PreemptiveSrtfScheduler",
     "interleave_by_job",
     "FcfsScheduler",
     "FairScheduler",

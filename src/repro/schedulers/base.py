@@ -14,13 +14,19 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.dag.job import Job
 from repro.dag.stage import Stage
 from repro.dag.task import Task, TaskType
 
-__all__ = ["SchedulingContext", "SchedulingDecision", "Scheduler", "interleave_by_job"]
+__all__ = [
+    "SchedulingContext",
+    "SchedulingDecision",
+    "PreemptionDirective",
+    "Scheduler",
+    "interleave_by_job",
+]
 
 
 @dataclass
@@ -45,6 +51,13 @@ class SchedulingContext:
     free_regular_slots: int = 0
     free_llm_slots: int = 0
     llm_batch_sizes: List[int] = field(default_factory=list)
+    #: Executor ids that no longer accept work (draining or retired under
+    #: autoscaling).  Preemptive schedulers must not pick victims here:
+    #: preempting a draining executor frees no assignable capacity.
+    inactive_executor_ids: Set[str] = field(default_factory=set)
+    # Lazily-built job_id -> Job index backing job_of (built at most once
+    # per context; contexts are snapshots, so the job set never changes).
+    _jobs_by_id: Optional[Dict[str, Job]] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     def schedulable_stages(self) -> List[Stage]:
@@ -57,11 +70,25 @@ class SchedulingContext:
     def schedulable_tasks(self) -> List[Task]:
         return [t for s in self.schedulable_stages() for t in s.pending_tasks()]
 
-    def job_of(self, task: Task) -> Job:
+    def running_tasks(self) -> List[Task]:
+        """Tasks currently placed on executors (preemption candidates)."""
+        tasks: List[Task] = []
         for job in self.jobs:
-            if job.job_id == task.job_id:
-                return job
-        raise KeyError(f"task {task.key()} belongs to no active job")
+            # Running tasks only exist in non-complete stages, and
+            # unfinished_stages() walks the stage dict without copying it.
+            for stage in job.unfinished_stages():
+                tasks.extend(stage.running_tasks())
+        return tasks
+
+    def job_of(self, task: Task) -> Job:
+        index = self._jobs_by_id
+        if index is None:
+            index = {job.job_id: job for job in self.jobs}
+            self._jobs_by_id = index
+        try:
+            return index[task.job_id]
+        except KeyError:
+            raise KeyError(f"task {task.key()} belongs to no active job") from None
 
     @property
     def average_llm_batch_size(self) -> float:
@@ -70,12 +97,33 @@ class SchedulingContext:
         return max(1.0, sum(self.llm_batch_sizes) / len(self.llm_batch_sizes))
 
 
+@dataclass(frozen=True)
+class PreemptionDirective:
+    """Checkpoint one running task back to PENDING before placement.
+
+    With ``checkpoint=True`` (the default) the task's progress is conserved
+    — it resumes later with only its remaining work (the engine counts the
+    preemption but no work is wasted).  ``checkpoint=False`` models
+    restart-from-scratch preemption; the discarded progress is recorded as
+    wasted work in the run metrics.
+    """
+
+    task: Task
+    checkpoint: bool = True
+
+
 @dataclass
 class SchedulingDecision:
-    """Ordered task preferences returned by a scheduler."""
+    """Ordered task preferences returned by a scheduler.
+
+    ``preemptions`` (optional, preemptive schedulers only) are applied by
+    the engine *before* the preference lists are placed, so freed capacity
+    is immediately available to the listed tasks.
+    """
 
     regular_tasks: List[Task] = field(default_factory=list)
     llm_tasks: List[Task] = field(default_factory=list)
+    preemptions: List[PreemptionDirective] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         for task in self.regular_tasks:
@@ -84,6 +132,9 @@ class SchedulingDecision:
         for task in self.llm_tasks:
             if task.task_type is not TaskType.LLM:
                 raise ValueError(f"{task.key()} is not an LLM task")
+        for directive in self.preemptions:
+            if not isinstance(directive, PreemptionDirective):
+                raise ValueError("preemptions must be PreemptionDirective instances")
 
     @classmethod
     def from_tasks(cls, tasks: Iterable[Task]) -> "SchedulingDecision":
@@ -104,6 +155,12 @@ class Scheduler(abc.ABC):
 
     #: Human-readable name used in experiment reports.
     name: str = "base"
+
+    #: Preemptive schedulers may return :class:`PreemptionDirective`s and
+    #: are invoked even when the cluster has no free capacity (a scheduling
+    #: pass can *create* capacity).  Non-preemptive schedulers keep the
+    #: pre-preemption fast path: no invocation on a full cluster.
+    preemptive: bool = False
 
     # Optional hooks ----------------------------------------------------- #
     def on_job_arrival(self, job: Job, time: float) -> None:

@@ -1,0 +1,137 @@
+"""Preemptive SRTF: checkpoint long-job tasks when shorter jobs wait.
+
+Non-preemptive SRTF can only reorder *pending* tasks, so a burst of short
+jobs arriving while long jobs occupy the whole cluster must wait for
+natural completions.  This scheduler extends SRTF with checkpoint
+preemption: when tasks of a shorter-remaining job cannot be placed for
+lack of capacity, it issues :class:`~repro.schedulers.base.
+PreemptionDirective`s against running tasks of the longest-remaining jobs.
+Preempted work is checkpointed (progress conserved), so under the work-
+conserving simulator the cost of a preemption is only the requeue — which
+is exactly when SRTF's exchange argument says swapping is worth it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dag.task import Task, TaskType
+from repro.schedulers.base import PreemptionDirective, SchedulingContext, SchedulingDecision
+from repro.schedulers.priors import ApplicationPriors
+from repro.schedulers.srtf import RemainingEstimator, SrtfScheduler
+
+__all__ = ["PreemptiveSrtfScheduler"]
+
+
+class PreemptiveSrtfScheduler(SrtfScheduler):
+    """SRTF preference lists plus preemption of longest-remaining victims.
+
+    Parameters
+    ----------
+    priors / remaining_estimator:
+        As for :class:`~repro.schedulers.srtf.SrtfScheduler`.
+    min_advantage:
+        A victim is only preempted for a task of a job whose estimated
+        remaining time is at least ``min_advantage`` seconds shorter than
+        the victim job's.  Raising it trades responsiveness for fewer
+        preemptions (useful when estimates are noisy).
+    max_preemptions_per_event:
+        Safety valve bounding churn per scheduling point.
+    """
+
+    name = "srtf_preempt"
+    preemptive = True
+
+    def __init__(
+        self,
+        priors: Optional[ApplicationPriors] = None,
+        remaining_estimator: Optional[RemainingEstimator] = None,
+        min_advantage: float = 0.0,
+        max_preemptions_per_event: int = 8,
+    ) -> None:
+        super().__init__(priors=priors, remaining_estimator=remaining_estimator)
+        if min_advantage < 0:
+            raise ValueError("min_advantage must be >= 0")
+        if max_preemptions_per_event < 1:
+            raise ValueError("max_preemptions_per_event must be >= 1")
+        self._min_advantage = float(min_advantage)
+        self._max_preemptions = int(max_preemptions_per_event)
+
+    def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        decision, remaining = self._schedule_with_remaining(context)
+        if (
+            len(decision.regular_tasks) <= context.free_regular_slots
+            and len(decision.llm_tasks) <= context.free_llm_slots
+        ):
+            return decision  # everything fits: nothing to preempt for
+        preemptions = self._plan_preemptions(context, decision, remaining)
+        if preemptions:
+            decision.preemptions = preemptions
+        return decision
+
+    def _plan_preemptions(
+        self,
+        context: SchedulingContext,
+        decision: SchedulingDecision,
+        remaining: Dict[str, float],
+    ) -> List[PreemptionDirective]:
+        # Victim pool: running tasks, longest-remaining owning job first.
+        # Ties break toward later-arrived jobs so FIFO fairness is kept.
+        # Tasks on draining/retired executors are no use as victims —
+        # preempting them frees no assignable slot — so they are excluded
+        # up front rather than wasting the per-event preemption budget.
+        inactive = context.inactive_executor_ids
+        candidates = context.running_tasks()
+        if inactive:
+            candidates = [t for t in candidates if t.executor_id not in inactive]
+        victims = sorted(
+            candidates,
+            key=lambda t: (
+                remaining.get(t.job_id, 0.0),
+                context.job_of(t).arrival_time,
+                t.job_id,
+                t.uid,
+            ),
+            reverse=True,
+        )
+        directives: List[PreemptionDirective] = []
+        claimed: set = set()
+        budget = self._max_preemptions
+        for task_type, tasks, free in (
+            (TaskType.REGULAR, decision.regular_tasks, context.free_regular_slots),
+            (TaskType.LLM, decision.llm_tasks, context.free_llm_slots),
+        ):
+            # Tasks beyond the free capacity are the ones placement will cut.
+            for blocked in tasks[free:]:
+                if budget <= 0:
+                    break
+                blocked_remaining = remaining.get(blocked.job_id, 0.0)
+                victim = self._pick_victim(
+                    victims, remaining, claimed, task_type, blocked_remaining, blocked.job_id
+                )
+                if victim is None:
+                    break  # no longer-remaining victim of this type exists
+                claimed.add(victim.uid)
+                directives.append(PreemptionDirective(task=victim, checkpoint=True))
+                budget -= 1
+        return directives
+
+    def _pick_victim(
+        self,
+        victims: List[Task],
+        remaining: Dict[str, float],
+        claimed: set,
+        task_type: TaskType,
+        blocked_remaining: float,
+        blocked_job_id: str,
+    ) -> Optional[Task]:
+        threshold = blocked_remaining + self._min_advantage
+        for victim in victims:
+            if victim.task_type is not task_type:
+                continue
+            if remaining.get(victim.job_id, 0.0) <= threshold:
+                return None  # sorted longest-first: nothing further qualifies
+            if victim.uid in claimed or victim.job_id == blocked_job_id:
+                continue
+            return victim
+        return None

@@ -10,6 +10,7 @@ from repro.schedulers.carbyne import CarbyneScheduler
 from repro.schedulers.decima import DecimaPolicy, DecimaScheduler
 from repro.schedulers.fair import FairScheduler
 from repro.schedulers.fcfs import FcfsScheduler
+from repro.schedulers.preemptive import PreemptiveSrtfScheduler
 from repro.schedulers.priors import ApplicationPriors
 from repro.schedulers.sjf import SjfScheduler
 from repro.schedulers.srtf import SrtfScheduler
@@ -20,11 +21,20 @@ __all__ = ["available_schedulers", "create_scheduler"]
 _BASELINES = ["fcfs", "sjf", "fair", "argus", "decima", "carbyne"]
 
 
-def available_schedulers(include_llmsched: bool = True) -> List[str]:
-    """Names accepted by :func:`create_scheduler`."""
+def available_schedulers(
+    include_llmsched: bool = True, include_preemptive: bool = False
+) -> List[str]:
+    """Names accepted by :func:`create_scheduler`.
+
+    ``include_preemptive`` is off by default so harness code that sweeps
+    "the paper's schedulers" (all non-preemptive) is unaffected by the
+    preemptive extension.
+    """
     names = list(_BASELINES) + ["srtf"]
     if include_llmsched:
         names.append("llmsched")
+    if include_preemptive:
+        names.append("srtf_preempt")
     return names
 
 
@@ -49,6 +59,8 @@ def create_scheduler(
         return SjfScheduler(_require_priors(key, priors))
     if key == "srtf":
         return SrtfScheduler(priors=_require_priors(key, priors))
+    if key == "srtf_preempt":
+        return PreemptiveSrtfScheduler(priors=_require_priors(key, priors))
     if key == "argus":
         return ArgusScheduler()
     if key == "carbyne":

@@ -55,9 +55,21 @@ class SrtfScheduler(Scheduler):
         return self._priors.estimate_remaining(job)
 
     def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        return self._schedule_with_remaining(context)[0]
+
+    def _schedule_with_remaining(self, context: SchedulingContext):
+        """(decision, job_id → estimated remaining) for one scheduling pass.
+
+        The estimate map is computed once and shared — the preemptive
+        subclass reuses it for victim selection, so pluggable (expensive)
+        estimators run once per job per pass, not twice.
+        """
+        remaining = {
+            job.job_id: self.estimate_remaining(job, context) for job in context.jobs
+        }
         ordered_jobs = sorted(
             context.jobs,
-            key=lambda j: (self.estimate_remaining(j, context), j.arrival_time, j.job_id),
+            key=lambda j: (remaining[j.job_id], j.arrival_time, j.job_id),
         )
         stages: List[Stage] = []
         for job in ordered_jobs:
@@ -66,4 +78,4 @@ class SrtfScheduler(Scheduler):
                 key=lambda s: (job.stage_depth(s.stage_id), s.stage_id),
             )
             stages.extend(job_stages)
-        return SchedulingDecision.from_tasks(interleave_by_job(stages))
+        return SchedulingDecision.from_tasks(interleave_by_job(stages)), remaining

@@ -10,15 +10,32 @@ discrete-event engine:
 * :mod:`~repro.simulator.latency` — batch-size → decoding-latency profile,
 * :mod:`~repro.simulator.executor` — regular executors (one task at a time)
   and batched LLM executors (progress rescaling on batch changes),
-* :mod:`~repro.simulator.cluster` — executor pools and placement,
-* :mod:`~repro.simulator.engine` — the event loop driving jobs, executors and
-  a pluggable scheduler,
-* :mod:`~repro.simulator.metrics` — JCT / utilisation / overhead accounting.
+* :mod:`~repro.simulator.pool` — named, heterogeneous executor pools with
+  incremental capacity accounting and drain-based elasticity,
+* :mod:`~repro.simulator.cluster` — composition of pools plus the capacity
+  surface the engine uses,
+* :mod:`~repro.simulator.placement` — pluggable policies mapping scheduler
+  decisions onto pools (greedy first-fit, best-fit, pool affinity),
+* :mod:`~repro.simulator.autoscaler` — threshold/target-load pool resizing
+  at periodic scale events,
+* :mod:`~repro.simulator.engine` — the event loop driving jobs, executors,
+  a pluggable scheduler and (optionally) preemption + autoscaling,
+* :mod:`~repro.simulator.metrics` — JCT / utilisation / preemption /
+  scale-event accounting.
 """
 
 from repro.simulator.latency import DecodingLatencyProfile
 from repro.simulator.executor import LLMExecutor, RegularExecutor
+from repro.simulator.pool import ExecutorPool, PoolSpec
 from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.placement import (
+    BestFitPlacement,
+    GreedyFirstFitPlacement,
+    PlacementPolicy,
+    PoolAffinityPlacement,
+    create_placement_policy,
+)
+from repro.simulator.autoscaler import AutoscalerConfig, ScaleEvent, ThresholdAutoscaler
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.engine import SimulationEngine, SimulationConfig
 from repro.simulator.events import EventQueue, SimulationEvent
@@ -29,8 +46,18 @@ __all__ = [
     "DecodingLatencyProfile",
     "RegularExecutor",
     "LLMExecutor",
+    "ExecutorPool",
+    "PoolSpec",
     "Cluster",
     "ClusterConfig",
+    "PlacementPolicy",
+    "GreedyFirstFitPlacement",
+    "BestFitPlacement",
+    "PoolAffinityPlacement",
+    "create_placement_policy",
+    "AutoscalerConfig",
+    "ScaleEvent",
+    "ThresholdAutoscaler",
     "SimulationMetrics",
     "SimulationEngine",
     "SimulationConfig",

@@ -1,33 +1,49 @@
-"""The cluster: pools of regular and LLM executors.
+"""The cluster: a composition of named executor pools.
 
-Capacity accounting is incremental: the cluster maintains a free-slot
-counter per pool and a min-heap of idle regular-executor indices, so the
-simulation engine's hot path (`free capacity?`, `place a task`, `finish a
-task`) never scans the executor pools.  The counters stay exact as long as
-assignments *and* completions go through the cluster (``assign_*_task`` /
-``finish_*_task``); poking executors directly bypasses the bookkeeping.
+The cluster used to own exactly two hard-coded pools (regular containers
+and batched LLM engines); it is now a thin composition layer over N
+:class:`~repro.simulator.pool.ExecutorPool` instances, each with its own
+executor count, batch size, latency profile and speed factor.  The legacy
+:class:`ClusterConfig` still builds the default two-pool cluster — with
+identical executor ids and placement order, so existing traces are
+reproduced bit for bit.
+
+Capacity accounting is incremental inside each pool (free-slot counters,
+idle heaps), so the simulation engine's hot path (`free capacity?`,
+`place a task`, `finish a task`) never scans executors.  The counters stay
+exact as long as assignments, preemptions *and* completions go through the
+cluster (``assign_*`` / ``finish_*`` / ``preempt_task``); poking executors
+directly bypasses the bookkeeping.
+
+Which pool a task lands on is decided by the placement layer
+(:mod:`repro.simulator.placement`); the legacy ``assign_regular_task`` /
+``assign_llm_task`` helpers implement greedy first-fit in pool declaration
+order, which is exactly the pre-pool behavior for the default cluster.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dag.task import Task, TaskType
 from repro.simulator.executor import LLMExecutor, RegularExecutor
 from repro.simulator.latency import DecodingLatencyProfile
+from repro.simulator.pool import AnyExecutor, ExecutorPool, PoolSpec
 
 __all__ = ["ClusterConfig", "Cluster"]
 
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Sizing of the serving cluster.
+    """Sizing of the default homogeneous two-pool serving cluster.
 
     The paper configures the executor counts per workload type so the cluster
     runs at a moderate (~85%) average load; :mod:`repro.experiments.runner`
     contains the sizing helper that does the same for this reproduction.
+    Heterogeneous clusters bypass this config and pass
+    :class:`~repro.simulator.pool.PoolSpec` sequences to :class:`Cluster`
+    directly.
     """
 
     num_regular_executors: int = 8
@@ -48,33 +64,109 @@ class ClusterConfig:
     def latency_profile(self) -> DecodingLatencyProfile:
         return DecodingLatencyProfile(slope=self.latency_slope)
 
+    def pool_specs(self) -> Tuple[PoolSpec, PoolSpec]:
+        """The equivalent two-pool layout (ids match the pre-pool cluster)."""
+        return (
+            PoolSpec(
+                name="regular",
+                task_type=TaskType.REGULAR,
+                num_executors=self.num_regular_executors,
+                executor_id_prefix="reg",
+            ),
+            PoolSpec(
+                name="llm",
+                task_type=TaskType.LLM,
+                num_executors=self.num_llm_executors,
+                max_batch_size=self.max_batch_size,
+                latency_slope=self.latency_slope,
+                executor_id_prefix="llm",
+            ),
+        )
+
 
 class Cluster:
-    """Executor pools plus placement helpers used by the simulation engine."""
+    """Named executor pools plus the capacity surface the engine uses.
 
-    def __init__(self, config: ClusterConfig) -> None:
+    Construct either from a legacy :class:`ClusterConfig` (default two-pool
+    layout) or from an explicit sequence of pool specs::
+
+        Cluster(ClusterConfig(num_regular_executors=8))
+        Cluster(pools=[PoolSpec("cpu", TaskType.REGULAR, 8),
+                       PoolSpec("a100", TaskType.LLM, 2, max_batch_size=8),
+                       PoolSpec("h800", TaskType.LLM, 2, max_batch_size=16,
+                                speed_factor=1.6)])
+
+    The flat ``regular_executors`` / ``llm_executors`` views aggregate over
+    pools in declaration order and only ever grow (scale-down retires
+    executors in place), so flat indices held by the engine's event
+    bookkeeping stay stable across autoscaling.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        pools: Optional[Sequence[PoolSpec]] = None,
+    ) -> None:
+        if config is not None and pools is not None:
+            raise ValueError("pass either a ClusterConfig or pool specs, not both")
+        if pools is None:
+            config = config or ClusterConfig()
+            specs: Sequence[PoolSpec] = config.pool_specs()
+        else:
+            specs = tuple(pools)
+            if not specs:
+                raise ValueError("a cluster needs at least one pool")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pool names: {names}")
         self.config = config
-        profile = config.latency_profile()
-        self.regular_executors: List[RegularExecutor] = [
-            RegularExecutor(f"reg-{i}") for i in range(config.num_regular_executors)
-        ]
-        self.llm_executors: List[LLMExecutor] = [
-            LLMExecutor(f"llm-{i}", config.max_batch_size, profile)
-            for i in range(config.num_llm_executors)
-        ]
-        self._by_id: Dict[str, object] = {
-            e.executor_id: e for e in (*self.regular_executors, *self.llm_executors)
-        }
-        self._regular_index: Dict[str, int] = {
-            e.executor_id: i for i, e in enumerate(self.regular_executors)
-        }
-        self._llm_index: Dict[str, int] = {
-            e.executor_id: i for i, e in enumerate(self.llm_executors)
-        }
-        # Incremental capacity state (see module docstring).
-        self._idle_regular_heap: List[int] = list(range(len(self.regular_executors)))
-        self._free_regular = len(self.regular_executors)
-        self._free_llm = config.max_batch_size * len(self.llm_executors)
+
+        self.regular_executors: List[RegularExecutor] = []
+        self.llm_executors: List[LLMExecutor] = []
+        self._by_id: Dict[str, AnyExecutor] = {}
+        self._regular_index: Dict[str, int] = {}
+        self._llm_index: Dict[str, int] = {}
+        # executor_id -> pool *name* (resolved lazily: scale-up registers
+        # executors while the pool object is being constructed/looked up).
+        self._pool_name_of: Dict[str, str] = {}
+
+        self.pools: List[ExecutorPool] = []
+        self._pools_by_name: Dict[str, ExecutorPool] = {}
+        self._regular_pools: List[ExecutorPool] = []
+        self._llm_pools: List[ExecutorPool] = []
+        for spec in specs:
+            pool = ExecutorPool(spec, on_new_executor=self._make_registrar(spec))
+            self.pools.append(pool)
+            self._pools_by_name[spec.name] = pool
+            (self._regular_pools if spec.task_type is TaskType.REGULAR else self._llm_pools).append(pool)
+
+    def _make_registrar(self, spec: PoolSpec):
+        def register(executor: AnyExecutor) -> None:
+            if executor.executor_id in self._by_id:  # pragma: no cover - defensive
+                raise ValueError(f"duplicate executor id {executor.executor_id!r}")
+            self._by_id[executor.executor_id] = executor
+            self._pool_name_of[executor.executor_id] = spec.name
+            if spec.task_type is TaskType.REGULAR:
+                self._regular_index[executor.executor_id] = len(self.regular_executors)
+                self.regular_executors.append(executor)
+            else:
+                self._llm_index[executor.executor_id] = len(self.llm_executors)
+                self.llm_executors.append(executor)
+
+        return register
+
+    # ------------------------------------------------------------------ #
+    # Pool access
+    # ------------------------------------------------------------------ #
+    def pool(self, name: str) -> ExecutorPool:
+        return self._pools_by_name[name]
+
+    def pools_for(self, task_type: TaskType) -> List[ExecutorPool]:
+        """Pools serving ``task_type``, in declaration (placement) order."""
+        return self._regular_pools if task_type is TaskType.REGULAR else self._llm_pools
+
+    def pool_of_executor(self, executor_id: str) -> ExecutorPool:
+        return self._pools_by_name[self._pool_name_of[executor_id]]
 
     # ------------------------------------------------------------------ #
     # Capacity
@@ -83,72 +175,122 @@ class Cluster:
         return [e for e in self.regular_executors if e.is_idle]
 
     def free_llm_slots(self) -> int:
-        return self._free_llm
+        # Plain loop, no generator allocation: this is read once per task in
+        # the engine's placement loop.  Each pool's counter is incremental,
+        # so the read is O(#pools) with #pools typically 1-2 per type.
+        total = 0
+        for pool in self._llm_pools:
+            total += pool.free_slots
+        return total
 
     def free_regular_slots(self) -> int:
-        return self._free_regular
+        total = 0
+        for pool in self._regular_pools:
+            total += pool.free_slots
+        return total
+
+    def free_slots(self, task_type: TaskType) -> int:
+        total = 0
+        for pool in self.pools_for(task_type):
+            total += pool.free_slots
+        return total
+
+    def inactive_executor_ids(self):
+        """Ids of draining/retired executors across all pools (usually empty)."""
+        ids = set()
+        for pool in self.pools:
+            if pool.has_inactive_executors:
+                ids |= pool.inactive_executor_ids()
+        return ids
+
+    def active_llm_batch_sizes(self) -> List[int]:
+        """Batch sizes of LLM executors still accepting work.
+
+        Excludes retired and draining executors so batching-aware duration
+        calibration reflects where *new* tasks can land (under autoscaling
+        a retired executor would otherwise report batch size 0 forever and
+        drag the average down).
+        """
+        sizes: List[int] = []
+        for pool in self._llm_pools:
+            for executor in pool.executors:
+                if pool.is_active(executor.executor_id):
+                    sizes.append(executor.batch_size)
+        return sizes
 
     def executor(self, executor_id: str):
         return self._by_id[executor_id]
 
     def regular_index(self, executor_id: str) -> int:
-        """Pool index of a regular executor (for event bookkeeping)."""
+        """Flat pool index of a regular executor (for event bookkeeping)."""
         return self._regular_index[executor_id]
 
     def llm_index(self, executor_id: str) -> int:
-        """Pool index of an LLM executor (for dirty-set bookkeeping)."""
+        """Flat pool index of an LLM executor (for dirty-set bookkeeping)."""
         return self._llm_index[executor_id]
 
     # ------------------------------------------------------------------ #
-    # Placement
+    # Placement (greedy first-fit over pools; see repro.simulator.placement
+    # for the pluggable policies the engine uses)
     # ------------------------------------------------------------------ #
     def assign_regular_task(self, task: Task, time: float) -> Optional[str]:
-        """Place a regular task on the lowest-index idle executor (None if full)."""
+        """First-fit across regular pools (lowest-index idle executor within)."""
         if task.task_type is not TaskType.REGULAR:
             raise ValueError("assign_regular_task expects a regular task")
-        while self._idle_regular_heap:
-            index = heapq.heappop(self._idle_regular_heap)
-            executor = self.regular_executors[index]
-            if not executor.is_idle:
-                continue  # stale entry (executor was mutated directly)
-            executor.assign(task, time)
-            self._free_regular -= 1
-            return executor.executor_id
+        for pool in self._regular_pools:
+            placed = pool.assign(task, time)
+            if placed is not None:
+                return placed
         return None
 
     def assign_llm_task(self, task: Task, time: float) -> Optional[str]:
-        """Place an LLM task on the least-loaded LLM executor (None if full).
+        """First-fit across LLM pools (least-loaded executor within a pool).
 
         Least-loaded placement is the simple load-balancing rule the paper
         uses for multiple LLM executors.
         """
         if task.task_type is not TaskType.LLM:
             raise ValueError("assign_llm_task expects an LLM task")
-        candidates = [e for e in self.llm_executors if e.free_slots > 0]
-        if not candidates:
-            return None
-        executor = min(candidates, key=lambda e: (e.batch_size, e.executor_id))
-        executor.add_task(task, time)
-        self._free_llm -= 1
-        return executor.executor_id
+        for pool in self._llm_pools:
+            placed = pool.assign(task, time)
+            if placed is not None:
+                return placed
+        return None
 
     # ------------------------------------------------------------------ #
-    # Completion (keeps the incremental capacity state in sync)
+    # Completion and preemption (keep the incremental capacity state in sync)
     # ------------------------------------------------------------------ #
     def finish_regular_task(self, executor: RegularExecutor, time: float) -> Task:
         """Complete the executor's current task and return it to the idle pool."""
-        task = executor.finish_current(time)
-        heapq.heappush(self._idle_regular_heap, self._regular_index[executor.executor_id])
-        self._free_regular += 1
-        return task
+        return self.pool_of_executor(executor.executor_id).finish_regular_task(executor, time)
 
     def finish_llm_task(
         self, executor: LLMExecutor, task: Task, time: float, eps: float = 1e-6
     ) -> Task:
         """Complete ``task`` on ``executor`` and free its batch slot."""
-        executor.finish_task(task, time, eps=eps)
-        self._free_llm += 1
-        return task
+        return self.pool_of_executor(executor.executor_id).finish_llm_task(executor, task, time, eps=eps)
+
+    def preempt_task(self, task: Task, time: float, checkpoint: bool = True) -> float:
+        """Checkpoint a running task back to PENDING; returns wasted work."""
+        if task.executor_id is None:
+            raise ValueError(f"task {task.key()} is not placed on any executor")
+        return self.pool_of_executor(task.executor_id).preempt(task, time, checkpoint=checkpoint)
+
+    # ------------------------------------------------------------------ #
+    # Elasticity
+    # ------------------------------------------------------------------ #
+    def scale_pool(self, name: str, delta: int) -> int:
+        """Resize a pool by ``delta`` executors; returns the applied change.
+
+        Positive deltas add executors (new flat indices appear at the end of
+        the executor views); negative deltas retire/drain executors in
+        place.  Bounded by the pool spec's ``min_executors`` /
+        ``max_executors``.
+        """
+        pool = self._pools_by_name[name]
+        if delta >= 0:
+            return pool.scale_up(delta)
+        return -pool.scale_down(-delta)
 
     # ------------------------------------------------------------------ #
     # Time keeping
@@ -177,12 +319,18 @@ class Cluster:
         return best
 
     def utilization(self, horizon: float) -> Dict[str, float]:
-        """Average busy fraction of each executor pool over ``horizon`` seconds."""
+        """Average busy fraction of each executor type over ``horizon`` seconds."""
         if horizon <= 0:
             return {"regular": 0.0, "llm": 0.0}
-        regular_busy = sum(e.busy_time for e in self.regular_executors)
-        llm_busy = sum(e.busy_time for e in self.llm_executors)
-        return {
-            "regular": regular_busy / (horizon * len(self.regular_executors)),
-            "llm": llm_busy / (horizon * len(self.llm_executors)),
-        }
+        result: Dict[str, float] = {}
+        for key, executors in (("regular", self.regular_executors), ("llm", self.llm_executors)):
+            if not executors:
+                result[key] = 0.0
+                continue
+            busy = sum(e.busy_time for e in executors)
+            result[key] = busy / (horizon * len(executors))
+        return result
+
+    def pool_utilization(self, horizon: float) -> Dict[str, float]:
+        """Average busy fraction per named pool over ``horizon`` seconds."""
+        return {p.name: p.utilization(horizon) for p in self.pools}

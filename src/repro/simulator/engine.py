@@ -1,11 +1,14 @@
 """The discrete-event simulation engine (indexed fast path).
 
 The engine owns the clock, the cluster and the job set; the scheduling
-policy is pluggable.  Scheduling points are job arrivals and task
-completions.  At every scheduling point the engine snapshots the cluster,
-invokes the scheduler (timing the call for the scheduling-overhead numbers
-of the paper's Table I) and greedily places tasks from the returned
-preference lists onto free capacity.
+policy, the placement policy and (optionally) an autoscaler are pluggable.
+Scheduling points are job arrivals, task completions and — when an
+autoscaler is configured — periodic scale events.  At every scheduling
+point the engine snapshots the cluster, invokes the scheduler (timing the
+call for the scheduling-overhead numbers of the paper's Table I), applies
+any preemption directives the decision carries (checkpointing running
+tasks back to pending with work conserved), and walks the returned
+preference lists, asking the placement policy for a pool per task.
 
 Event core
 ----------
@@ -49,11 +52,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.dag.job import Job
 from repro.dag.stage import StageState
-from repro.dag.task import Task, TaskType
-from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.dag.task import Task, TaskState, TaskType
+from repro.schedulers.base import PreemptionDirective, Scheduler, SchedulingContext
+from repro.simulator.autoscaler import ThresholdAutoscaler
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.events import EventQueue, EventType
 from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.placement import GreedyFirstFitPlacement, PlacementPolicy
 
 __all__ = ["SimulationConfig", "SimulationEngine"]
 
@@ -93,12 +98,18 @@ class SimulationEngine:
         cluster_config: Optional[ClusterConfig] = None,
         config: Optional[SimulationConfig] = None,
         workload_name: str = "",
+        placement: Optional[PlacementPolicy] = None,
+        autoscaler: Optional[ThresholdAutoscaler] = None,
     ) -> None:
         if cluster is None:
             cluster = Cluster(cluster_config or ClusterConfig())
         self.cluster = cluster
         self.scheduler = scheduler
         self.config = config or SimulationConfig()
+        self.placement = placement or GreedyFirstFitPlacement()
+        self.autoscaler = autoscaler
+        if autoscaler is not None:
+            autoscaler.reset()  # instances reused across runs re-arm at t=0
         if isinstance(jobs, Sequence):
             if not jobs:
                 raise ValueError("cannot simulate an empty job list")
@@ -150,10 +161,16 @@ class SimulationEngine:
             self._time = max(self._time, next_time)
             self.cluster.advance_to(self._time)
             self._process_completions(self._time)
+            if (
+                self.autoscaler is not None
+                and self._time + self.config.eps >= self.autoscaler.next_check_time
+            ):
+                self._run_autoscaler()
 
         self.metrics.num_events = iterations
         self.metrics.makespan = self._time
         self.metrics.utilization = self.cluster.utilization(max(self._time, _EPS))
+        self.metrics.pool_utilization = self.cluster.pool_utilization(max(self._time, _EPS))
         return self.metrics
 
     @property
@@ -199,18 +216,38 @@ class SimulationEngine:
     # Scheduling and placement
     # ------------------------------------------------------------------ #
     def _build_context(self) -> SchedulingContext:
-        return SchedulingContext(
+        # While every executor is active (all default runs) the flat-list
+        # comprehension is the bit-identical fast path; once any pool has
+        # draining/retired executors — whatever resized it, the engine's
+        # autoscaler or external Cluster.scale_pool calls — they must not
+        # skew the batch-size signal nor be offered as preemption victims.
+        inactive = self.cluster.inactive_executor_ids()
+        if inactive:
+            batch_sizes = self.cluster.active_llm_batch_sizes()
+        else:
+            batch_sizes = [e.batch_size for e in self.cluster.llm_executors]
+        context = SchedulingContext(
             time=self._time,
             jobs=list(self._active_jobs.values()),
             free_regular_slots=self.cluster.free_regular_slots(),
             free_llm_slots=self.cluster.free_llm_slots(),
-            llm_batch_sizes=[e.batch_size for e in self.cluster.llm_executors],
+            llm_batch_sizes=batch_sizes,
         )
+        if inactive:
+            context.inactive_executor_ids = inactive
+        return context
 
     def _dispatch(self) -> None:
         if not self._active_jobs:
             return
-        if self.cluster.free_regular_slots() == 0 and self.cluster.free_llm_slots() == 0:
+        # A preemptive scheduler must run even on a full cluster — its
+        # scheduling pass can *create* capacity; non-preemptive schedulers
+        # keep the original fast path.
+        if (
+            not self.scheduler.preemptive
+            and self.cluster.free_regular_slots() == 0
+            and self.cluster.free_llm_slots() == 0
+        ):
             return
         context = self._build_context()
         if not context.schedulable_tasks():
@@ -221,6 +258,10 @@ class SimulationEngine:
         overhead = wallclock.perf_counter() - started
         self.metrics.record_scheduler_invocation(overhead)
 
+        if decision.preemptions:
+            for directive in decision.preemptions:
+                self._apply_preemption(directive)
+
         for task in decision.regular_tasks:
             if self.cluster.free_regular_slots() == 0:
                 break
@@ -229,6 +270,37 @@ class SimulationEngine:
             if self.cluster.free_llm_slots() == 0:
                 break
             self._place_task(task, TaskType.LLM)
+
+    def _apply_preemption(self, directive: PreemptionDirective) -> None:
+        """Checkpoint a running task back to PENDING (skipping stale directives)."""
+        task = directive.task
+        if task.state is not TaskState.RUNNING or task.executor_id is None:
+            return  # stale: the task finished (or was never placed)
+        job = self._active_jobs.get(task.job_id)
+        if job is None:
+            return
+        executor = self.cluster.executor(task.executor_id)
+        if not self.cluster.pool_of_executor(task.executor_id).is_active(task.executor_id):
+            # Draining executor: preempting would requeue the victim without
+            # freeing an assignable slot (the drain swallows it) — capacity
+            # strictly shrinks. Let the task run out instead.
+            return
+        eps = self.config.eps
+        llm_index: Optional[int] = None
+        if task.task_type is TaskType.REGULAR:
+            completion = executor.completion_time()
+            if completion is not None and completion <= self._time + eps:
+                return  # completing at this very instant; let it finish
+        else:
+            llm_index = self.cluster.llm_index(task.executor_id)
+            executor.advance_to(self._time)
+            if task.remaining_work <= eps:
+                return  # effectively done; the completion sweep will take it
+        wasted = self.cluster.preempt_task(task, self._time, checkpoint=directive.checkpoint)
+        if llm_index is not None:
+            self._dirty_llm.add(llm_index)
+        self.metrics.record_preemption(wasted)
+        job.invalidate_schedulable_cache()
 
     def _place_task(self, task: Task, expected_type: TaskType) -> None:
         if task.task_type is not expected_type:
@@ -243,19 +315,18 @@ class SimulationEngine:
         stage = job.stage(task.stage_id)
         if stage.state not in (StageState.READY, StageState.RUNNING) or not stage.visible:
             return  # Not actually schedulable; ignore the preference entry.
+        pool = self.placement.select_pool(self.cluster, task)
+        placed = pool.assign(task, self._time) if pool is not None else None
+        if placed is None:
+            return
         if expected_type is TaskType.REGULAR:
-            placed = self.cluster.assign_regular_task(task, self._time)
-            if placed is not None:
-                index = self.cluster.regular_index(placed)
-                finish = self.cluster.regular_executors[index].completion_time()
-                self._regular_events.push(finish, EventType.TASK_FINISH, index)
+            index = self.cluster.regular_index(placed)
+            finish = self.cluster.regular_executors[index].completion_time()
+            self._regular_events.push(finish, EventType.TASK_FINISH, index)
         else:
-            placed = self.cluster.assign_llm_task(task, self._time)
-            if placed is not None:
-                self._dirty_llm.add(self.cluster.llm_index(placed))
-        if placed is not None:
-            stage.mark_running()
-            job.invalidate_schedulable_cache()
+            self._dirty_llm.add(self.cluster.llm_index(placed))
+        stage.mark_running()
+        job.invalidate_schedulable_cache()
 
     # ------------------------------------------------------------------ #
     # Time advance and completions
@@ -283,6 +354,10 @@ class SimulationEngine:
 
     def _next_llm_completion(self) -> Optional[float]:
         """Earliest LLM completion; only dirty executors are rescanned."""
+        if len(self._llm_best) < len(self.cluster.llm_executors):
+            # The cluster grew outside _run_autoscaler (external
+            # Cluster.scale_pool calls, e.g. from a scheduler hook).
+            self._sync_llm_views()
         if self._dirty_llm:
             for index in self._dirty_llm:
                 upcoming = self.cluster.llm_executors[index].next_completion()
@@ -305,9 +380,41 @@ class SimulationEngine:
             candidates.append(llm)
         if self._next_arrival is not None:
             candidates.append(self._next_arrival.arrival_time)
+        # Autoscale checks are an event source too — but only while other
+        # activity (or placeable backlog) exists, so a truly deadlocked run
+        # still falls through to the deadlock check instead of idling on
+        # scale events forever.
+        if self.autoscaler is not None and (candidates or self._has_placeable_backlog()):
+            candidates.append(self.autoscaler.next_check_time)
         if not candidates:
             return None
         return min(candidates)
+
+    def _has_placeable_backlog(self) -> bool:
+        return any(job.schedulable_stages() for job in self._active_jobs.values())
+
+    # ------------------------------------------------------------------ #
+    # Autoscaling
+    # ------------------------------------------------------------------ #
+    def _run_autoscaler(self) -> None:
+        """One autoscale check: measure backlog, resize pools, sync indexes."""
+        backlog = {TaskType.REGULAR: 0, TaskType.LLM: 0}
+        for job in self._active_jobs.values():
+            for stage in job.schedulable_stages():
+                key = TaskType.LLM if stage.is_llm else TaskType.REGULAR
+                backlog[key] += len(stage.pending_tasks())
+        events = self.autoscaler.check(self.cluster, backlog, self._time, eps=self.config.eps)
+        for event in events:
+            self.metrics.record_scale_event(event.to_dict())
+        if events:
+            self._sync_llm_views()
+
+    def _sync_llm_views(self) -> None:
+        """Grow the per-LLM-executor caches after a scale-up added executors."""
+        count = len(self.cluster.llm_executors)
+        while len(self._llm_best) < count:
+            self._dirty_llm.add(len(self._llm_best))
+            self._llm_best.append(None)
 
     def _process_completions(self, now: float) -> None:
         eps = self.config.eps

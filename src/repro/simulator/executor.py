@@ -14,10 +14,19 @@ _EPS = 1e-9
 
 
 class RegularExecutor:
-    """An executor (e.g. a container) running one regular task at a time."""
+    """An executor (e.g. a container) running one regular task at a time.
 
-    def __init__(self, executor_id: str) -> None:
+    ``speed`` is the pool's relative hardware speed: a task with ``w``
+    seconds of remaining work occupies the executor for ``w / speed``
+    wall-clock seconds.  The default of 1.0 keeps the completion-time
+    arithmetic bit-identical to the homogeneous cluster.
+    """
+
+    def __init__(self, executor_id: str, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise ValueError("speed must be > 0")
         self.executor_id = executor_id
+        self.speed = float(speed)
         self.current_task: Optional[Task] = None
         self._task_started_at: float = 0.0
         self.busy_time: float = 0.0
@@ -37,10 +46,32 @@ class RegularExecutor:
         self._task_started_at = float(time)
 
     def completion_time(self) -> Optional[float]:
-        """Absolute time at which the current task will finish (None if idle)."""
+        """Absolute time at which the current task will finish (None if idle).
+
+        Uses the task's *remaining* work (a checkpointed task resumes where
+        it left off) scaled by the executor speed; at progress 0 and speed 1
+        this reduces exactly to ``start + work``.
+        """
         if self.current_task is None:
             return None
-        return self._task_started_at + self.current_task.work
+        return self._task_started_at + self.current_task.remaining_work / self.speed
+
+    def preempt_current(self, time: float, checkpoint: bool = True) -> float:
+        """Checkpoint the running task back to PENDING at ``time``.
+
+        Progress accrued so far is banked on the task (work conservation)
+        unless ``checkpoint=False``, in which case it is discarded.  Returns
+        the amount of work wasted (0 for a checkpointed preemption).
+        """
+        if self.current_task is None:
+            raise RuntimeError(f"executor {self.executor_id} has no task to preempt")
+        task = self.current_task
+        elapsed = max(0.0, time - self._task_started_at)
+        task.advance(elapsed * self.speed)
+        wasted = task.mark_preempted(checkpoint=checkpoint)
+        self.busy_time += elapsed
+        self.current_task = None
+        return wasted
 
     def finish_current(self, time: float) -> Task:
         """Complete the current task at ``time`` and free the executor."""
@@ -74,15 +105,28 @@ class LLMExecutor:
         executor_id: str,
         max_batch_size: int,
         latency_profile: Optional[DecodingLatencyProfile] = None,
+        speed_factor: float = 1.0,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be > 0")
         self.executor_id = executor_id
         self.max_batch_size = int(max_batch_size)
         self.latency_profile = latency_profile or DecodingLatencyProfile()
+        self.speed_factor = float(speed_factor)
         self.running: List[Task] = []
         self.busy_time: float = 0.0
         self._last_update: float = 0.0
+
+    def _rate(self) -> float:
+        """Per-request progress rate at the current batch size.
+
+        ``speed_factor`` scales the whole profile (heterogeneous pools);
+        multiplying by the default 1.0 is exact, so homogeneous clusters
+        keep bit-identical progress arithmetic.
+        """
+        return self.latency_profile.speed(self.batch_size) * self.speed_factor
 
     # ------------------------------------------------------------------ #
     @property
@@ -107,7 +151,7 @@ class LLMExecutor:
             )
         elapsed = max(0.0, time - self._last_update)
         if elapsed > 0 and self.running:
-            rate = self.latency_profile.speed(self.batch_size)
+            rate = self._rate()
             for task in self.running:
                 task.advance(elapsed * rate)
             self.busy_time += elapsed
@@ -143,7 +187,7 @@ class LLMExecutor:
         re-derives its finish time from current executor state with this
         method (the same arithmetic as :meth:`next_completion`).
         """
-        rate = self.latency_profile.speed(self.batch_size)
+        rate = self._rate()
         return self._last_update + task.remaining_work / rate
 
     def finish_task(self, task: Task, time: float, eps: float = 1e-6) -> None:
@@ -163,11 +207,26 @@ class LLMExecutor:
         task.mark_finished(time)
         self.running.remove(task)
 
+    def preempt_task(self, task: Task, time: float, checkpoint: bool = True) -> float:
+        """Checkpoint ``task`` out of the batch back to PENDING at ``time``.
+
+        Progress is accrued up to ``time`` first (at the pre-removal batch
+        rate), then banked on the task unless ``checkpoint=False``.  The
+        remaining batch speeds up from ``time`` onwards, exactly as if the
+        request had finished.  Returns the work wasted (0 if checkpointed).
+        """
+        if task not in self.running:
+            raise RuntimeError(f"task {task.key()} is not running on {self.executor_id}")
+        self.advance_to(time)
+        wasted = task.mark_preempted(checkpoint=checkpoint)
+        self.running.remove(task)
+        return wasted
+
     def finished_tasks_at(self, time: float) -> List[Task]:
         """Tasks whose work completes at (or before) ``time``."""
         if not self.running:
             return []
-        rate = self.latency_profile.speed(self.batch_size)
+        rate = self._rate()
         horizon = max(0.0, time - self._last_update) * rate
         return [t for t in self.running if t.remaining_work <= horizon + 1e-9]
 

@@ -26,6 +26,14 @@ class SimulationMetrics:
     #: Scheduling points the engine processed (arrival/completion events);
     #: the throughput benchmark reports simulated events per second from it.
     num_events: int = 0
+    #: Preemption accounting: checkpointed preemptions conserve work, so
+    #: ``wasted_work`` only grows for restart-from-scratch preemptions.
+    num_preemptions: int = 0
+    wasted_work: float = 0.0
+    #: Autoscaler resize events (dicts from ScaleEvent.to_dict), and the
+    #: per-named-pool busy fractions of the run.
+    scale_events: List[Dict[str, object]] = field(default_factory=list)
+    pool_utilization: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def record_job_completion(self, job_id: str, application: str, jct: float) -> None:
@@ -37,6 +45,15 @@ class SimulationMetrics:
     def record_scheduler_invocation(self, overhead_seconds: float) -> None:
         self.num_scheduler_invocations += 1
         self.scheduling_overhead.add(max(0.0, overhead_seconds))
+
+    def record_preemption(self, wasted_work: float) -> None:
+        if wasted_work < 0:
+            raise ValueError("wasted work must be >= 0")
+        self.num_preemptions += 1
+        self.wasted_work += float(wasted_work)
+
+    def record_scale_event(self, event: Dict[str, object]) -> None:
+        self.scale_events.append(dict(event))
 
     # ------------------------------------------------------------------ #
     @property
@@ -77,4 +94,7 @@ class SimulationMetrics:
             "num_events": self.num_events,
             "llm_utilization": self.utilization.get("llm", 0.0),
             "regular_utilization": self.utilization.get("regular", 0.0),
+            "num_preemptions": self.num_preemptions,
+            "wasted_work": self.wasted_work,
+            "num_scale_events": len(self.scale_events),
         }

@@ -163,3 +163,53 @@ class TestParallelSweeps:
             sweep_arrival_rates([], ["fcfs"])
         with pytest.raises(ValueError):
             sweep_arrival_rates([1.0], [])
+
+
+class TestPlacementAndAutoscaling:
+    def _pools(self):
+        from repro.dag.task import TaskType
+        from repro.simulator.pool import PoolSpec
+
+        return (
+            PoolSpec("cpu", TaskType.REGULAR, 4),
+            PoolSpec("gpu-a", TaskType.LLM, 1, max_batch_size=4),
+            PoolSpec("gpu-b", TaskType.LLM, 1, max_batch_size=4),
+        )
+
+    def test_sweep_placement_policies(self):
+        from repro.experiments.runner import sweep_placement_policies
+
+        spec = WorkloadSpec(WorkloadType.MIXED, num_jobs=8, arrival_rate=1.2, seed=6)
+        results = sweep_placement_policies(
+            ["greedy", "best_fit"], self._pools(), scheduler_name="fcfs",
+            base_spec=spec, settings=TINY, processes=1,
+        )
+        assert set(results) == {"greedy", "best_fit"}
+        for metrics in results.values():
+            assert len(metrics.job_completion_times) == 8
+
+    def test_run_autoscaled_diurnal(self, prepared):
+        from repro.dag.task import TaskType
+        from repro.experiments.runner import run_autoscaled_diurnal
+        from repro.simulator.autoscaler import AutoscalerConfig
+        from repro.simulator.pool import PoolSpec
+        from repro.workloads.arrivals import DiurnalProcess
+
+        applications, priors, profiler = prepared
+        spec = OpenLoopSpec(
+            process=DiurnalProcess(mean_rate=1.0, amplitude=0.9, period=300.0, seed=4),
+            seed=4,
+            max_jobs=40,
+            name="diurnal",
+        )
+        pools = (
+            PoolSpec("cpu", TaskType.REGULAR, 2, min_executors=2, max_executors=16),
+            PoolSpec("gpu", TaskType.LLM, 1, max_batch_size=4, min_executors=1, max_executors=8),
+        )
+        metrics = run_autoscaled_diurnal(
+            "fcfs", spec, pools,
+            autoscaler_config=AutoscalerConfig(interval=15.0, step=2),
+            applications=applications, settings=TINY, priors=priors, profiler=profiler,
+        )
+        assert len(metrics.job_completion_times) == 40
+        assert metrics.scale_events

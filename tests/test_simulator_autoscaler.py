@@ -1,0 +1,251 @@
+"""Tests for the threshold autoscaler and its engine integration."""
+
+import pytest
+
+from repro.dag.task import Task, TaskType
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator.autoscaler import AutoscalerConfig, ThresholdAutoscaler
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.pool import PoolSpec
+from repro.workloads.arrivals import DiurnalProcess, open_loop_jobs
+
+
+def llm_task(work=1.0):
+    return Task(job_id="j", stage_id="s", task_type=TaskType.LLM, work=work)
+
+
+def elastic_cluster():
+    return Cluster(
+        pools=[
+            PoolSpec("cpu", TaskType.REGULAR, 4, min_executors=2, max_executors=24),
+            PoolSpec("gpu", TaskType.LLM, 1, max_batch_size=4, min_executors=1, max_executors=12),
+        ]
+    )
+
+
+class TestAutoscalerConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval": 0.0},
+            {"scale_up_occupancy": 0.0},
+            {"scale_up_occupancy": 1.5},
+            {"scale_down_occupancy": -0.1},
+            {"scale_down_occupancy": 0.95},  # >= scale_up default 0.9
+            {"step": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(**kwargs)
+
+
+class TestCheck:
+    def test_scales_up_full_pool_with_backlog(self):
+        cluster = elastic_cluster()
+        for _ in range(4):
+            assert cluster.assign_llm_task(llm_task(work=50.0), 0.0) is not None
+        autoscaler = ThresholdAutoscaler(AutoscalerConfig(interval=10.0, step=2))
+        events = autoscaler.check(cluster, {TaskType.LLM: 6, TaskType.REGULAR: 0}, 10.0)
+        gpu_events = [e for e in events if e.pool == "gpu"]
+        assert len(gpu_events) == 1
+        assert gpu_events[0].delta == 2
+        assert cluster.pool("gpu").num_active_executors == 3
+        assert autoscaler.next_check_time == 20.0
+
+    def test_no_scale_up_without_backlog(self):
+        cluster = elastic_cluster()
+        for _ in range(4):
+            cluster.assign_llm_task(llm_task(work=50.0), 0.0)
+        autoscaler = ThresholdAutoscaler(AutoscalerConfig(interval=10.0))
+        events = autoscaler.check(cluster, {TaskType.LLM: 0, TaskType.REGULAR: 0}, 10.0)
+        assert [e for e in events if e.delta > 0] == []
+
+    def test_scales_down_idle_pool(self):
+        cluster = elastic_cluster()
+        autoscaler = ThresholdAutoscaler(AutoscalerConfig(interval=10.0, step=2))
+        events = autoscaler.check(cluster, {TaskType.LLM: 0, TaskType.REGULAR: 0}, 10.0)
+        cpu_events = [e for e in events if e.pool == "cpu"]
+        assert len(cpu_events) == 1
+        assert cpu_events[0].delta == -2
+        assert cluster.pool("cpu").num_active_executors == 2
+
+    def test_respects_min_executors(self):
+        cluster = elastic_cluster()
+        autoscaler = ThresholdAutoscaler(AutoscalerConfig(interval=10.0, step=10))
+        autoscaler.check(cluster, {TaskType.LLM: 0, TaskType.REGULAR: 0}, 10.0)
+        assert cluster.pool("cpu").num_active_executors == 2  # min_executors
+        assert cluster.pool("gpu").num_active_executors == 1
+
+    def test_retired_executors_excluded_from_batch_size_signal(self):
+        cluster = elastic_cluster()
+        cluster.scale_pool("gpu", 2)
+        task = llm_task(work=50.0)
+        assert cluster.assign_llm_task(task, 0.0) is not None
+        assert cluster.active_llm_batch_sizes() == [1, 0, 0]
+        cluster.scale_pool("gpu", -2)  # retires the two idle executors
+        # Retired executors (permanent batch size 0) drop out of the signal.
+        assert cluster.active_llm_batch_sizes() == [1]
+
+    def test_full_pool_defers_to_sibling_with_free_slots(self):
+        cluster = Cluster(
+            pools=[
+                PoolSpec("cpu-a", TaskType.REGULAR, 5, max_executors=8),
+                PoolSpec("cpu-b", TaskType.REGULAR, 2, max_executors=8),
+                PoolSpec("gpu", TaskType.LLM, 1, max_batch_size=2),
+            ]
+        )
+        def reg_task():
+            return Task(job_id="j", stage_id="s", task_type=TaskType.REGULAR, work=50.0)
+        for _ in range(2):
+            assert cluster.pool("cpu-b").assign(reg_task(), 0.0) is not None
+        autoscaler = ThresholdAutoscaler(AutoscalerConfig(interval=10.0))
+        # cpu-b is full but cpu-a's 5 free slots absorb the backlog of 3.
+        events = autoscaler.check(cluster, {TaskType.REGULAR: 3, TaskType.LLM: 0}, 10.0)
+        assert [e for e in events if e.delta > 0] == []
+        # Backlog beyond the type-wide free capacity does scale the full pool.
+        autoscaler2 = ThresholdAutoscaler(AutoscalerConfig(interval=10.0))
+        events = autoscaler2.check(cluster, {TaskType.REGULAR: 9, TaskType.LLM: 0}, 10.0)
+        assert any(e.pool == "cpu-b" and e.delta > 0 for e in events)
+
+    def test_reused_autoscaler_rearms_per_engine(self):
+        autoscaler = ThresholdAutoscaler(
+            AutoscalerConfig(interval=20.0, scale_up_occupancy=0.85, scale_down_occupancy=0.25, step=2)
+        )
+        _, first = self.run_diurnal_with(autoscaler)
+        _, second = self.run_diurnal_with(autoscaler)  # same instance, fresh engine
+        assert first.scale_events == second.scale_events
+        assert second.scale_events  # not silently disabled by stale schedule
+
+    def run_diurnal_with(self, autoscaler):
+        stream = open_loop_jobs(
+            DiurnalProcess(mean_rate=1.0, amplitude=0.9, period=600.0, seed=3),
+            seed=3,
+            max_jobs=60,
+        )
+        engine = SimulationEngine(
+            stream, FcfsScheduler(), cluster=elastic_cluster(), autoscaler=autoscaler
+        )
+        return engine, engine.run()
+
+    def test_one_sibling_scale_up_absorbs_shared_backlog(self):
+        cluster = Cluster(
+            pools=[
+                PoolSpec("cpu", TaskType.REGULAR, 1),
+                PoolSpec("gpu-a", TaskType.LLM, 1, max_batch_size=4, max_executors=4),
+                PoolSpec("gpu-b", TaskType.LLM, 1, max_batch_size=4, max_executors=4),
+            ]
+        )
+        for _ in range(8):  # both LLM pools full
+            assert cluster.assign_llm_task(llm_task(work=50.0), 0.0) is not None
+        autoscaler = ThresholdAutoscaler(AutoscalerConfig(interval=10.0, step=1))
+        events = autoscaler.check(cluster, {TaskType.LLM: 2, TaskType.REGULAR: 0}, 10.0)
+        ups = [e for e in events if e.delta > 0]
+        # The first scale-up (4 fresh slots) absorbs the backlog of 2; the
+        # sibling must not also scale for the same demand.
+        assert len(ups) == 1
+
+    def test_external_scale_pool_growth_without_autoscaler(self):
+        """The engine's LLM views must grow lazily when the cluster is
+        resized outside its own autoscaler (e.g. a scheduler hook)."""
+        from repro.workloads.arrivals import PoissonProcess
+
+        cluster = Cluster(
+            pools=[
+                PoolSpec("cpu", TaskType.REGULAR, 2),
+                PoolSpec("gpu", TaskType.LLM, 1, max_batch_size=2, max_executors=6),
+            ]
+        )
+
+        class ScalingFcfs(FcfsScheduler):
+            def on_job_arrival(self, job, time):
+                cluster.scale_pool("gpu", 1)
+
+        stream = open_loop_jobs(PoissonProcess(rate=2.0, seed=8), seed=8, max_jobs=15)
+        engine = SimulationEngine(stream, ScalingFcfs(), cluster=cluster)
+        metrics = engine.run()  # would IndexError without the lazy sync
+        assert len(metrics.job_completion_times) == 15
+
+    def test_check_at_eps_before_schedule_advances_it(self):
+        cluster = elastic_cluster()
+        autoscaler = ThresholdAutoscaler(AutoscalerConfig(interval=10.0))
+        # Fired a hair early (the engine triggers at now + eps >= next):
+        autoscaler.check(cluster, {TaskType.LLM: 0, TaskType.REGULAR: 0}, 10.0 - 5e-10, eps=1e-9)
+        assert autoscaler.next_check_time == pytest.approx(20.0)
+
+    def test_zero_capacity_pool_scales_up_on_backlog(self):
+        cluster = Cluster(
+            pools=[
+                PoolSpec("cpu", TaskType.REGULAR, 2, min_executors=0, max_executors=4),
+                PoolSpec("gpu", TaskType.LLM, 1, max_batch_size=2, min_executors=1),
+            ]
+        )
+        cluster.scale_pool("cpu", -2)
+        assert cluster.pool("cpu").capacity == 0
+        autoscaler = ThresholdAutoscaler(AutoscalerConfig(interval=5.0))
+        events = autoscaler.check(cluster, {TaskType.REGULAR: 3, TaskType.LLM: 0}, 5.0)
+        assert any(e.pool == "cpu" and e.delta > 0 for e in events)
+
+
+class TestEngineIntegration:
+    def run_diurnal(self, autoscaler):
+        stream = open_loop_jobs(
+            DiurnalProcess(mean_rate=1.0, amplitude=0.9, period=600.0, seed=3),
+            seed=3,
+            max_jobs=120,
+        )
+        engine = SimulationEngine(
+            stream, FcfsScheduler(), cluster=elastic_cluster(), autoscaler=autoscaler
+        )
+        return engine, engine.run()
+
+    def test_diurnal_run_scales_and_completes(self):
+        autoscaler = ThresholdAutoscaler(
+            AutoscalerConfig(interval=20.0, scale_up_occupancy=0.85, scale_down_occupancy=0.25, step=2)
+        )
+        engine, metrics = self.run_diurnal(autoscaler)
+        assert len(metrics.job_completion_times) == 120
+        assert metrics.scale_events  # pools were resized at least once
+        ups = [e for e in metrics.scale_events if e["delta"] > 0]
+        assert ups, "a diurnal peak should trigger at least one scale-up"
+        for pool in engine.cluster.pools:
+            assert pool.spec.min_executors <= pool.num_active_executors
+            if pool.spec.max_executors is not None:
+                assert pool.num_active_executors <= pool.spec.max_executors
+
+    def test_autoscaled_run_is_deterministic(self):
+        def fresh():
+            return ThresholdAutoscaler(
+                AutoscalerConfig(interval=20.0, scale_up_occupancy=0.85, scale_down_occupancy=0.25, step=2)
+            )
+
+        _, first = self.run_diurnal(fresh())
+        _, second = self.run_diurnal(fresh())
+        assert first.job_completion_times == second.job_completion_times
+        assert first.scale_events == second.scale_events
+
+    def test_autoscaling_improves_peak_jct_over_static_floor(self):
+        """An elastic cluster beats the same cluster pinned at its floor size."""
+        stream_args = dict(seed=3, max_jobs=120)
+        process = DiurnalProcess(mean_rate=1.0, amplitude=0.9, period=600.0, seed=3)
+
+        def run(autoscaler, pools):
+            stream = open_loop_jobs(process, **stream_args)
+            engine = SimulationEngine(
+                stream, FcfsScheduler(), cluster=Cluster(pools=pools), autoscaler=autoscaler
+            )
+            return engine.run()
+
+        floor = [
+            PoolSpec("cpu", TaskType.REGULAR, 2, min_executors=2, max_executors=24),
+            PoolSpec("gpu", TaskType.LLM, 1, max_batch_size=4, min_executors=1, max_executors=12),
+        ]
+        static = run(None, floor)
+        elastic = run(
+            ThresholdAutoscaler(
+                AutoscalerConfig(interval=20.0, scale_up_occupancy=0.85, scale_down_occupancy=0.25, step=2)
+            ),
+            floor,
+        )
+        assert elastic.average_jct < static.average_jct

@@ -1,0 +1,148 @@
+"""Tests for the placement layer (policies mapping tasks onto pools)."""
+
+import pytest
+
+from repro.dag.task import Task, TaskType
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.placement import (
+    BestFitPlacement,
+    GreedyFirstFitPlacement,
+    PoolAffinityPlacement,
+    available_placement_policies,
+    create_placement_policy,
+)
+from repro.simulator.pool import PoolSpec
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, generate_workload
+
+
+def llm_task(work=1.0):
+    return Task(job_id="j", stage_id="s", task_type=TaskType.LLM, work=work)
+
+
+def regular_task(work=1.0):
+    return Task(job_id="j", stage_id="s", task_type=TaskType.REGULAR, work=work)
+
+
+def two_llm_pool_cluster():
+    return Cluster(
+        pools=[
+            PoolSpec("cpu", TaskType.REGULAR, 4),
+            PoolSpec("gpu-a", TaskType.LLM, 1, max_batch_size=4),
+            PoolSpec("gpu-b", TaskType.LLM, 1, max_batch_size=4),
+        ]
+    )
+
+
+class TestFactory:
+    def test_names(self):
+        assert "greedy" in available_placement_policies()
+        assert "best_fit" in available_placement_policies()
+
+    def test_create(self):
+        assert isinstance(create_placement_policy("greedy"), GreedyFirstFitPlacement)
+        assert isinstance(create_placement_policy("best_fit"), BestFitPlacement)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            create_placement_policy("nope")
+
+
+class TestGreedyFirstFit:
+    def test_first_pool_in_declaration_order(self):
+        cluster = two_llm_pool_cluster()
+        policy = GreedyFirstFitPlacement()
+        assert policy.select_pool(cluster, llm_task()).name == "gpu-a"
+
+    def test_skips_full_pools(self):
+        cluster = two_llm_pool_cluster()
+        policy = GreedyFirstFitPlacement()
+        for _ in range(4):
+            cluster.pool("gpu-a").assign(llm_task(), 0.0)
+        assert policy.select_pool(cluster, llm_task()).name == "gpu-b"
+
+    def test_none_when_everything_full(self):
+        cluster = two_llm_pool_cluster()
+        policy = GreedyFirstFitPlacement()
+        for _ in range(8):
+            assert cluster.assign_llm_task(llm_task(), 0.0) is not None
+        assert policy.select_pool(cluster, llm_task()) is None
+
+
+class TestBestFit:
+    def test_prefers_tightest_pool(self):
+        cluster = two_llm_pool_cluster()
+        policy = BestFitPlacement()
+        for _ in range(3):
+            cluster.pool("gpu-b").assign(llm_task(), 0.0)
+        # gpu-b has 1 free slot vs gpu-a's 4: best-fit packs into gpu-b.
+        assert policy.select_pool(cluster, llm_task()).name == "gpu-b"
+
+    def test_falls_back_when_tightest_full(self):
+        cluster = two_llm_pool_cluster()
+        policy = BestFitPlacement()
+        for _ in range(4):
+            cluster.pool("gpu-b").assign(llm_task(), 0.0)
+        assert policy.select_pool(cluster, llm_task()).name == "gpu-a"
+
+
+class TestPoolAffinity:
+    def test_prefers_named_pool(self):
+        cluster = two_llm_pool_cluster()
+        policy = PoolAffinityPlacement(lambda task: "gpu-b")
+        assert policy.select_pool(cluster, llm_task()).name == "gpu-b"
+
+    def test_falls_back_when_preferred_full(self):
+        cluster = two_llm_pool_cluster()
+        policy = PoolAffinityPlacement(lambda task: "gpu-b")
+        for _ in range(4):
+            cluster.pool("gpu-b").assign(llm_task(), 0.0)
+        assert policy.select_pool(cluster, llm_task()).name == "gpu-a"
+
+    def test_wrong_type_preference_ignored(self):
+        cluster = two_llm_pool_cluster()
+        policy = PoolAffinityPlacement(lambda task: "cpu")
+        assert policy.select_pool(cluster, llm_task()).name == "gpu-a"
+
+    def test_no_preference_uses_fallback(self):
+        cluster = two_llm_pool_cluster()
+        policy = PoolAffinityPlacement(lambda task: None)
+        assert policy.select_pool(cluster, regular_task()).name == "cpu"
+
+    def test_unknown_pool_name_falls_back(self):
+        cluster = two_llm_pool_cluster()
+        policy = PoolAffinityPlacement(lambda task: "h800-does-not-exist")
+        assert policy.select_pool(cluster, llm_task()).name == "gpu-a"
+
+
+class TestEngineIntegration:
+    SPEC = WorkloadSpec(workload_type=WorkloadType.MIXED, num_jobs=12, arrival_rate=1.5, seed=13)
+
+    def run_with(self, placement, cluster):
+        jobs = generate_workload(self.SPEC)
+        engine = SimulationEngine(jobs, FcfsScheduler(), cluster=cluster, placement=placement)
+        return engine.run()
+
+    def test_default_placement_is_greedy(self):
+        implicit = self.run_with(None, Cluster(ClusterConfig(num_regular_executors=3, num_llm_executors=2, max_batch_size=4)))
+        explicit = self.run_with(
+            GreedyFirstFitPlacement(),
+            Cluster(ClusterConfig(num_regular_executors=3, num_llm_executors=2, max_batch_size=4)),
+        )
+        assert implicit.job_completion_times == explicit.job_completion_times
+        assert implicit.makespan == explicit.makespan
+
+    @pytest.mark.parametrize("policy_name", ["greedy", "best_fit"])
+    def test_policies_complete_on_heterogeneous_cluster(self, policy_name):
+        metrics = self.run_with(create_placement_policy(policy_name), two_llm_pool_cluster())
+        assert len(metrics.job_completion_times) == self.SPEC.num_jobs
+        # Multi-pool runs report per-pool utilization by name.
+        assert set(metrics.pool_utilization) == {"cpu", "gpu-a", "gpu-b"}
+
+    def test_affinity_routes_on_heterogeneous_cluster(self):
+        metrics = self.run_with(
+            PoolAffinityPlacement(lambda task: "gpu-b"), two_llm_pool_cluster()
+        )
+        assert len(metrics.job_completion_times) == self.SPEC.num_jobs
+        assert metrics.pool_utilization["gpu-b"] >= metrics.pool_utilization["gpu-a"]
