@@ -19,21 +19,24 @@ __all__ = ["record_bench_section", "bench_output_path"]
 _DEFAULT_FILENAME = "BENCH_2.json"
 
 
-def bench_output_path() -> str:
+def bench_output_path(filename: str = None) -> str:
     override = os.environ.get("BENCH_OUTPUT")
     if override:
         return override
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    return os.path.join(repo_root, _DEFAULT_FILENAME)
+    return os.path.join(repo_root, filename or _DEFAULT_FILENAME)
 
 
-def record_bench_section(section: str, payload: Dict[str, object]) -> str:
+def record_bench_section(section: str, payload: Dict[str, object], filename: str = None) -> str:
     """Merge ``payload`` under ``section`` in the benchmark results file.
 
     Read-modify-write keeps sections from independent benchmark runs; the
     scale tag records whether a section came from a smoke (CI) or full run.
+    ``filename`` targets a different per-PR results file (e.g. the
+    federation benchmark writes ``BENCH_3.json``); the ``BENCH_OUTPUT``
+    environment variable overrides both.
     """
-    path = bench_output_path()
+    path = bench_output_path(filename)
     data: Dict[str, object] = {}
     if os.path.exists(path):
         try:

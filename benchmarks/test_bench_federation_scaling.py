@@ -1,0 +1,167 @@
+"""Federation scaling benchmark: aggregate event throughput vs shard count.
+
+The same congested open-loop Poisson stream is pushed through fleets of
+1, 2 and 4 shards built from the *identical total hardware* (the total
+cluster config is split across shards), so the measurement isolates what
+sharding buys: each shard's scheduling pass sees only its own active
+jobs, and per-event cost shrinks with the shard's share of the backlog.
+Asserts ≥ 2.5x aggregate events/second at 4 shards vs 1 shard (the
+ISSUE 3 acceptance bar) and dumps the curve into ``BENCH_3.json``.
+
+Smoke mode (``BENCH_SCALE=smoke``) shrinks the stream for CI; the bar is
+relaxed there because short runs never build the deep backlog the
+speedup comes from.
+"""
+
+import os
+import time
+
+from bench_output import record_bench_section
+from repro.experiments.runner import split_cluster_config
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.federation import (
+    FederatedCluster,
+    FederatedSimulationEngine,
+    LeastLoadedRouter,
+)
+from repro.workloads.arrivals import PoissonProcess, open_loop_jobs
+
+SMOKE = os.environ.get("BENCH_SCALE") == "smoke"
+STREAM_JOBS = 300 if SMOKE else 1500
+ARRIVAL_RATE = 12.0
+MIN_SCALING_AT_4 = 1.3 if SMOKE else 2.5
+SHARD_COUNTS = (1, 2, 4)
+OUTPUT_FILE = "BENCH_3.json"
+
+#: Total fleet hardware, split evenly across the shard counts under test.
+TOTAL_CLUSTER = ClusterConfig(num_regular_executors=16, num_llm_executors=8, max_batch_size=8)
+
+
+def run_fleet(num_shards):
+    stream = open_loop_jobs(
+        PoissonProcess(rate=ARRIVAL_RATE, seed=11), seed=11, max_jobs=STREAM_JOBS
+    )
+    fleet = FederatedCluster(
+        [
+            (f"shard-{i}", Cluster(config))
+            for i, config in enumerate(split_cluster_config(TOTAL_CLUSTER, num_shards))
+        ],
+        router=LeastLoadedRouter(),
+    )
+    engine = FederatedSimulationEngine(
+        stream, FcfsScheduler, fleet, workload_name="open_loop_poisson"
+    )
+    started = time.perf_counter()
+    metrics = engine.run()
+    elapsed = time.perf_counter() - started
+    return metrics, elapsed
+
+
+def test_bench_federation_shard_scaling():
+    results = {}
+    for num_shards in SHARD_COUNTS:
+        metrics, elapsed = run_fleet(num_shards)
+        assert len(metrics.job_completion_times) == STREAM_JOBS
+        results[num_shards] = {
+            "events": metrics.num_events,
+            "elapsed_sec": elapsed,
+            "events_per_sec": metrics.num_events / elapsed,
+            "average_jct": metrics.average_jct,
+            "makespan": metrics.makespan,
+        }
+
+    base = results[1]["events_per_sec"]
+    print(
+        f"\nfederation scaling ({STREAM_JOBS} jobs, Poisson rate {ARRIVAL_RATE}/s, "
+        f"{TOTAL_CLUSTER.num_regular_executors}+{TOTAL_CLUSTER.num_llm_executors} "
+        "executors total):"
+    )
+    for num_shards, row in results.items():
+        scaling = row["events_per_sec"] / base
+        row["scaling_vs_1_shard"] = scaling
+        print(
+            f"  {num_shards} shard(s): {row['events_per_sec']:,.0f} events/s "
+            f"({row['elapsed_sec']:.2f}s wall, {scaling:.2f}x)"
+        )
+
+    record_bench_section(
+        "federation_shard_scaling",
+        {
+            "stream_jobs": STREAM_JOBS,
+            "arrival_rate": ARRIVAL_RATE,
+            "total_regular_executors": TOTAL_CLUSTER.num_regular_executors,
+            "total_llm_executors": TOTAL_CLUSTER.num_llm_executors,
+            "router": "least_loaded",
+            "by_shard_count": {str(k): v for k, v in results.items()},
+            "scaling_at_4_shards": results[4]["scaling_vs_1_shard"],
+            "min_required_scaling": MIN_SCALING_AT_4,
+        },
+        filename=OUTPUT_FILE,
+    )
+    assert results[4]["scaling_vs_1_shard"] >= MIN_SCALING_AT_4, (
+        f"4-shard fleet is only {results[4]['scaling_vs_1_shard']:.2f}x the 1-shard "
+        f"event throughput (required: {MIN_SCALING_AT_4}x)"
+    )
+
+
+def test_bench_federated_migration_overhead():
+    """Migration keeps a skewed fleet healthy without measurable slowdown.
+
+    A hash-skewed 2-shard fleet (all jobs on one shard) runs once without
+    and once with rebalancing; the benchmark records the JCT win and the
+    wall-clock cost of the migration machinery.
+    """
+    from repro.simulator.federation import HashRouter, MigrationConfig
+
+    class AllToZero(HashRouter):
+        def select_shard(self, shards, job):
+            return 0
+
+    jobs = 120 if SMOKE else 400
+
+    def run(migration):
+        stream = open_loop_jobs(
+            PoissonProcess(rate=4.0, seed=23), seed=23, max_jobs=jobs
+        )
+        fleet = FederatedCluster(
+            [
+                (f"shard-{i}", Cluster(config))
+                for i, config in enumerate(split_cluster_config(TOTAL_CLUSTER, 2))
+            ],
+            router=AllToZero(),
+        )
+        engine = FederatedSimulationEngine(stream, FcfsScheduler, fleet, migration=migration)
+        started = time.perf_counter()
+        metrics = engine.run()
+        return metrics, time.perf_counter() - started
+
+    skewed, skewed_elapsed = run(None)
+    balanced, balanced_elapsed = run(
+        MigrationConfig(interval=10.0, imbalance_threshold=0.2, max_migrations_per_check=4)
+    )
+    assert balanced.num_migrations > 0
+    assert len(balanced.job_completion_times) == jobs
+    jct_win = 1.0 - balanced.average_jct / skewed.average_jct
+    print(
+        f"\nfederated migration ({jobs} jobs, 2 shards, hash-skewed): "
+        f"{balanced.num_migrations} migrations, JCT {skewed.average_jct:.1f}s -> "
+        f"{balanced.average_jct:.1f}s ({jct_win:.0%} win), wall "
+        f"{skewed_elapsed:.2f}s -> {balanced_elapsed:.2f}s"
+    )
+    record_bench_section(
+        "federated_migration",
+        {
+            "jobs": jobs,
+            "num_migrations": balanced.num_migrations,
+            "migrated_work": balanced.migrated_work,
+            "skewed_average_jct": skewed.average_jct,
+            "balanced_average_jct": balanced.average_jct,
+            "jct_reduction": jct_win,
+            "skewed_elapsed_sec": skewed_elapsed,
+            "balanced_elapsed_sec": balanced_elapsed,
+        },
+        filename=OUTPUT_FILE,
+    )
+    # Rebalancing must pay for itself on a pathologically skewed fleet.
+    assert balanced.average_jct < skewed.average_jct

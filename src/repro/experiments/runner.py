@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,6 +28,14 @@ from repro.schedulers.srtf import SrtfScheduler
 from repro.simulator.autoscaler import AutoscalerConfig, ThresholdAutoscaler
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.engine import SimulationEngine
+from repro.simulator.federation import (
+    FederatedCluster,
+    FederatedSimulationEngine,
+    FederationMetrics,
+    JobRouter,
+    MigrationConfig,
+    create_job_router,
+)
 from repro.simulator.latency import DecodingLatencyProfile
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.placement import PlacementPolicy, create_placement_policy
@@ -56,6 +64,10 @@ __all__ = [
     "sweep_arrival_rates",
     "sweep_placement_policies",
     "run_autoscaled_diurnal",
+    "split_cluster_config",
+    "run_federated",
+    "FederatedSweepCell",
+    "sweep_shard_counts",
     "PAPER_BASELINES",
 ]
 
@@ -417,30 +429,35 @@ def _run_cell(args: Tuple[SweepCell, ExperimentSettings]) -> Tuple[SweepCell, Si
     return cell, metrics
 
 
+def _map_cells(worker, payload: Sequence, processes: Optional[int]) -> List:
+    """Fan a picklable worker over payload items via worker processes.
+
+    ``processes=None`` uses one worker per CPU (capped at the item count);
+    ``processes=1`` runs serially in-process, which is also the fallback
+    when the platform cannot fork/spawn workers.
+    """
+    if processes is None:
+        processes = min(len(payload), multiprocessing.cpu_count())
+    if processes <= 1:
+        return [worker(item) for item in payload]
+    try:
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(worker, payload)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed platforms
+        return [worker(item) for item in payload]
+
+
 def run_cells_parallel(
     cells: Sequence[SweepCell],
     settings: Optional[ExperimentSettings] = None,
     processes: Optional[int] = None,
 ) -> List[Tuple[SweepCell, SimulationMetrics]]:
-    """Run scheduler × workload cells, fanned out over worker processes.
-
-    ``processes=None`` uses one worker per CPU (capped at the cell count);
-    ``processes=1`` runs serially in-process, which is also the fallback
-    when the platform cannot fork/spawn workers.
-    """
+    """Run scheduler × workload cells, fanned out over worker processes
+    (see :func:`_map_cells` for the process-count and fallback rules)."""
     settings = settings or ExperimentSettings()
     if not cells:
         return []
-    if processes is None:
-        processes = min(len(cells), multiprocessing.cpu_count())
-    payload = [(cell, settings) for cell in cells]
-    if processes <= 1:
-        return [_run_cell(item) for item in payload]
-    try:
-        with multiprocessing.Pool(processes=processes) as pool:
-            return pool.map(_run_cell, payload)
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed platforms
-        return [_run_cell(item) for item in payload]
+    return _map_cells(_run_cell, [(cell, settings) for cell in cells], processes)
 
 
 def sweep_arrival_rates(
@@ -504,6 +521,161 @@ def sweep_placement_policies(
     ]
     results = run_cells_parallel(cells, settings=settings, processes=processes)
     return {cell.placement_policy: metrics for cell, metrics in results}
+
+
+# --------------------------------------------------------------------------- #
+# Federation
+# --------------------------------------------------------------------------- #
+def split_cluster_config(config: ClusterConfig, num_shards: int) -> List[ClusterConfig]:
+    """Divide one total cluster sizing into ``num_shards`` shard sizings.
+
+    The executor totals are preserved (early shards take the remainder),
+    so a shard-count sweep compares routing and isolation on *identical
+    total hardware*.  Every shard needs at least one executor of each
+    type; shard counts beyond that are rejected rather than silently
+    growing the fleet.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if config.num_regular_executors < num_shards or config.num_llm_executors < num_shards:
+        raise ValueError(
+            f"cannot split {config.num_regular_executors} regular / "
+            f"{config.num_llm_executors} LLM executors across {num_shards} shards "
+            "(every shard needs at least one of each)"
+        )
+    regular, reg_rem = divmod(config.num_regular_executors, num_shards)
+    llm, llm_rem = divmod(config.num_llm_executors, num_shards)
+    configs: List[ClusterConfig] = []
+    for index in range(num_shards):
+        configs.append(
+            ClusterConfig(
+                num_regular_executors=regular + (1 if index < reg_rem else 0),
+                num_llm_executors=llm + (1 if index < llm_rem else 0),
+                max_batch_size=config.max_batch_size,
+                latency_slope=config.latency_slope,
+            )
+        )
+    return configs
+
+
+def run_federated(
+    scheduler_name: str,
+    open_spec: OpenLoopSpec,
+    num_shards: int = 2,
+    router: Union[str, JobRouter] = "least_loaded",
+    migration: Optional[MigrationConfig] = None,
+    applications: Optional[Mapping[str, ApplicationTemplate]] = None,
+    settings: Optional[ExperimentSettings] = None,
+    priors: Optional[ApplicationPriors] = None,
+    profiler: Optional[BayesianProfiler] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    nominal_rate: Optional[float] = None,
+) -> FederationMetrics:
+    """Run one scheduler on a sharded fleet fed by an open-loop stream.
+
+    ``cluster_config`` sizes the *total* fleet and is split evenly across
+    the shards (see :func:`split_cluster_config`); when omitted it is
+    derived from ``nominal_rate`` exactly like :func:`run_single_open_loop`.
+    Each shard gets its own scheduler instance from the ordinary factory,
+    and ``migration`` enables cross-shard checkpoint rebalancing.
+    """
+    settings = settings or ExperimentSettings()
+    applications = applications or default_applications()
+    priors = priors or build_priors(applications, settings)
+    profiler = profiler or build_profiler(applications, settings)
+    if cluster_config is None:
+        if nominal_rate is None:
+            rate = getattr(open_spec.process, "rate", None)
+            if rate is None:
+                raise ValueError(
+                    "federated sizing needs nominal_rate (or cluster_config) for "
+                    f"{type(open_spec.process).__name__}"
+                )
+            nominal_rate = float(rate)
+        names = open_spec.application_names or sorted(applications)
+        cluster_config = size_cluster(nominal_rate, names, applications, settings)
+    shard_configs = split_cluster_config(cluster_config, num_shards)
+    fleet = FederatedCluster(
+        [(f"shard-{i}", Cluster(cfg)) for i, cfg in enumerate(shard_configs)],
+        router=create_job_router(router) if isinstance(router, str) else router,
+    )
+    engine = FederatedSimulationEngine(
+        open_spec.jobs(dict(applications)),
+        lambda: _make_scheduler(scheduler_name, priors, profiler, settings),
+        fleet,
+        workload_name=open_spec.name,
+        migration=migration,
+    )
+    return engine.run()
+
+
+@dataclass(frozen=True)
+class FederatedSweepCell:
+    """One shard-count cell of a federation sweep (picklable)."""
+
+    num_shards: int
+    scheduler_name: str
+    open_spec: OpenLoopSpec
+    cluster_config: ClusterConfig
+    router_name: str = "least_loaded"
+    migration: Optional[MigrationConfig] = None
+
+
+def _run_federated_cell(
+    args: Tuple[FederatedSweepCell, ExperimentSettings],
+) -> Tuple[FederatedSweepCell, FederationMetrics]:
+    cell, settings = args
+    applications, priors, profiler = _worker_state(settings)
+    metrics = run_federated(
+        cell.scheduler_name,
+        cell.open_spec,
+        num_shards=cell.num_shards,
+        router=cell.router_name,
+        migration=cell.migration,
+        applications=applications,
+        settings=settings,
+        priors=priors,
+        profiler=profiler,
+        cluster_config=cell.cluster_config,
+    )
+    return cell, metrics
+
+
+def sweep_shard_counts(
+    shard_counts: Sequence[int],
+    open_spec: OpenLoopSpec,
+    cluster_config: ClusterConfig,
+    scheduler_name: str = "fcfs",
+    router: str = "least_loaded",
+    migration: Optional[MigrationConfig] = None,
+    settings: Optional[ExperimentSettings] = None,
+    processes: Optional[int] = None,
+) -> Dict[int, FederationMetrics]:
+    """Run the identical stream against fleets of varying shard counts.
+
+    Every cell sees the same total hardware (``cluster_config`` split per
+    :func:`split_cluster_config`), the same arrival stream and the same
+    scheduler, so differences isolate the sharding itself.  Cells fan out
+    over worker processes exactly like :func:`run_cells_parallel`.
+    """
+    if not shard_counts:
+        raise ValueError("shard_counts must not be empty")
+    settings = settings or ExperimentSettings()
+    cells = [
+        FederatedSweepCell(
+            num_shards=int(count),
+            scheduler_name=scheduler_name,
+            open_spec=open_spec,
+            cluster_config=cluster_config,
+            router_name=router,
+            migration=migration,
+        )
+        for count in shard_counts
+    ]
+    results = _map_cells(
+        _run_federated_cell, [(cell, settings) for cell in cells], processes
+    )
+    return {cell.num_shards: metrics for cell, metrics in results}
 
 
 def run_autoscaled_diurnal(

@@ -55,6 +55,17 @@ class SchedulingContext:
     #: autoscaling).  Preemptive schedulers must not pick victims here:
     #: preempting a draining executor frees no assignable capacity.
     inactive_executor_ids: Set[str] = field(default_factory=set)
+    #: Executor-id → hardware speed factor (populated for preemptive
+    #: schedulers only), so victim remaining-*time* estimates stay correct
+    #: on heterogeneous pools; executors absent from the map run at 1.0.
+    executor_speeds: Dict[str, float] = field(default_factory=dict)
+    #: Shard view (federated runs only): which shard of the fleet this
+    #: context describes, how many shards exist, and the fleet-wide free
+    #: capacity per task type.  Standalone runs keep the defaults, so
+    #: schedulers can branch on ``shard_count > 1`` to detect federation.
+    shard_name: str = ""
+    shard_count: int = 1
+    fleet_free_slots: Dict[TaskType, int] = field(default_factory=dict)
     # Lazily-built job_id -> Job index backing job_of (built at most once
     # per context; contexts are snapshots, so the job set never changes).
     _jobs_by_id: Optional[Dict[str, Job]] = field(default=None, repr=False, compare=False)

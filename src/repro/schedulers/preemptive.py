@@ -37,6 +37,18 @@ class PreemptiveSrtfScheduler(SrtfScheduler):
         preemptions (useful when estimates are noisy).
     max_preemptions_per_event:
         Safety valve bounding churn per scheduling point.
+    min_victim_remaining:
+        Floor on the victim *task's* own remaining time: a task within
+        this many seconds of finishing is never preempted — its slot frees
+        at the next completion event anyway, so checkpointing it is pure
+        churn (and, under restart-from-scratch preemption, discards almost
+        the task's entire work).  The default matches the engine's
+        eps-scale completion tolerance (the pre-``SimulationConfig.eps``
+        hard-coded ``1e-6``); raise it to also spare nearly-done tasks.
+    checkpoint:
+        Whether preempted work is checkpointed (progress conserved, the
+        default) or restarted from scratch (progress discarded and metered
+        as wasted work) — the latter models systems without checkpointing.
     """
 
     name = "srtf_preempt"
@@ -48,14 +60,20 @@ class PreemptiveSrtfScheduler(SrtfScheduler):
         remaining_estimator: Optional[RemainingEstimator] = None,
         min_advantage: float = 0.0,
         max_preemptions_per_event: int = 8,
+        min_victim_remaining: float = 1e-6,
+        checkpoint: bool = True,
     ) -> None:
         super().__init__(priors=priors, remaining_estimator=remaining_estimator)
         if min_advantage < 0:
             raise ValueError("min_advantage must be >= 0")
         if max_preemptions_per_event < 1:
             raise ValueError("max_preemptions_per_event must be >= 1")
+        if min_victim_remaining < 0:
+            raise ValueError("min_victim_remaining must be >= 0")
         self._min_advantage = float(min_advantage)
         self._max_preemptions = int(max_preemptions_per_event)
+        self._min_victim_remaining = float(min_victim_remaining)
+        self._checkpoint = bool(checkpoint)
 
     def schedule(self, context: SchedulingContext) -> SchedulingDecision:
         decision, remaining = self._schedule_with_remaining(context)
@@ -78,10 +96,17 @@ class PreemptiveSrtfScheduler(SrtfScheduler):
         # Victim pool: running tasks, longest-remaining owning job first.
         # Ties break toward later-arrived jobs so FIFO fairness is kept.
         # Tasks on draining/retired executors are no use as victims —
-        # preempting them frees no assignable slot — so they are excluded
-        # up front rather than wasting the per-event preemption budget.
+        # preempting them frees no assignable slot — and a task within the
+        # remaining-time floor of finishing frees its slot at the next
+        # completion event anyway; both are excluded up front rather than
+        # wasting the per-event preemption budget.
         inactive = context.inactive_executor_ids
-        candidates = context.running_tasks()
+        speeds = context.executor_speeds
+        candidates = [
+            t
+            for t in context.running_tasks()
+            if self._victim_remaining_time(t, context.time, speeds) > self._min_victim_remaining
+        ]
         if inactive:
             candidates = [t for t in candidates if t.executor_id not in inactive]
         victims = sorted(
@@ -112,9 +137,29 @@ class PreemptiveSrtfScheduler(SrtfScheduler):
                 if victim is None:
                     break  # no longer-remaining victim of this type exists
                 claimed.add(victim.uid)
-                directives.append(PreemptionDirective(task=victim, checkpoint=True))
+                directives.append(
+                    PreemptionDirective(task=victim, checkpoint=self._checkpoint)
+                )
                 budget -= 1
         return directives
+
+    @staticmethod
+    def _victim_remaining_time(task: Task, now: float, speeds: Dict[str, float]) -> float:
+        """Estimated wall-clock seconds until ``task`` itself finishes.
+
+        ``speeds`` maps executor ids to their pool's hardware speed factor
+        (from the scheduling context), so the estimate stays honest on
+        heterogeneous pools.  LLM tasks carry accurate ``remaining_work``
+        (progress is accrued by the engine's clock advance) but their wall
+        time also depends on the batch, which only the executor knows —
+        dividing by the speed factor is the closest scheduler-side
+        estimate.  Regular tasks bank progress only at checkpoints, so
+        elapsed running time is subtracted instead.
+        """
+        speed = speeds.get(task.executor_id, 1.0) if task.executor_id else 1.0
+        if task.task_type is TaskType.REGULAR and task.start_time is not None:
+            return max(0.0, task.remaining_work / speed - (now - task.start_time))
+        return task.remaining_work / speed
 
     def _pick_victim(
         self,

@@ -20,6 +20,9 @@ discrete-event engine:
   at periodic scale events,
 * :mod:`~repro.simulator.engine` — the event loop driving jobs, executors,
   a pluggable scheduler and (optionally) preemption + autoscaling,
+* :mod:`~repro.simulator.federation` — sharded multi-cluster fleets: job
+  routers, a shared-event-clock federated engine and cross-shard
+  checkpoint migration,
 * :mod:`~repro.simulator.metrics` — JCT / utilisation / preemption /
   scale-event accounting.
 """
@@ -39,6 +42,18 @@ from repro.simulator.autoscaler import AutoscalerConfig, ScaleEvent, ThresholdAu
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.engine import SimulationEngine, SimulationConfig
 from repro.simulator.events import EventQueue, SimulationEvent
+from repro.simulator.federation import (
+    FederatedCluster,
+    FederatedSimulationEngine,
+    FederationMetrics,
+    HashRouter,
+    JobRouter,
+    LeastLoadedRouter,
+    MigrationConfig,
+    MigrationEvent,
+    TypeAffinityRouter,
+    create_job_router,
+)
 from repro.simulator.reference import ReferenceSimulationEngine
 
 __all__ = [
@@ -63,4 +78,14 @@ __all__ = [
     "SimulationConfig",
     "EventQueue",
     "SimulationEvent",
+    "FederatedCluster",
+    "FederatedSimulationEngine",
+    "FederationMetrics",
+    "JobRouter",
+    "HashRouter",
+    "LeastLoadedRouter",
+    "TypeAffinityRouter",
+    "MigrationConfig",
+    "MigrationEvent",
+    "create_job_router",
 ]

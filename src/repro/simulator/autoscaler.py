@@ -33,7 +33,9 @@ class AutoscalerConfig:
     (backlog), and scales down when occupancy falls to or below
     ``scale_down_occupancy`` with no backlog.  ``step`` executors are added
     or drained per event, bounded by each pool spec's ``min_executors`` /
-    ``max_executors``.
+    ``max_executors``.  Both directions are capped *per task type*: one
+    check event changes a type's capacity by at most ``step`` executors,
+    however many sibling pools serve that type.
     """
 
     interval: float = 30.0
@@ -123,6 +125,11 @@ class ThresholdAutoscaler:
             task_type: cluster.free_slots(task_type)
             for task_type in (TaskType.REGULAR, TaskType.LLM)
         }
+        # Scale-down needs the mirror-image guard: each eligible pool is
+        # individually below the band, but draining ``step`` from every
+        # sibling would shrink the type's capacity by pools × step in one
+        # event — far below the band's intent.  Budget the drain per type.
+        down_budget = {TaskType.REGULAR: config.step, TaskType.LLM: config.step}
         for pool in cluster.pools:
             occupancy = pool.occupancy
             pending = backlog.get(pool.task_type, 0)
@@ -142,8 +149,13 @@ class ThresholdAutoscaler:
                 # overstate the absorbed demand.)
                 free_by_type[pool.task_type] = cluster.free_slots(pool.task_type)
                 reason = "occupancy above target band with backlog"
-            elif occupancy <= config.scale_down_occupancy and pending == 0:
-                delta = cluster.scale_pool(pool.name, -config.step)
+            elif (
+                occupancy <= config.scale_down_occupancy
+                and pending == 0
+                and down_budget[pool.task_type] > 0
+            ):
+                delta = cluster.scale_pool(pool.name, -down_budget[pool.task_type])
+                down_budget[pool.task_type] += delta  # delta <= 0
                 reason = "occupancy below target band"
             else:
                 continue

@@ -129,6 +129,10 @@ class Cluster:
         # executor_id -> pool *name* (resolved lazily: scale-up registers
         # executors while the pool object is being constructed/looked up).
         self._pool_name_of: Dict[str, str] = {}
+        # executor_id -> hardware speed factor (static per executor), so
+        # schedulers can translate remaining work into remaining wall time
+        # without reaching into executor objects.
+        self._speed_of: Dict[str, float] = {}
 
         self.pools: List[ExecutorPool] = []
         self._pools_by_name: Dict[str, ExecutorPool] = {}
@@ -146,6 +150,7 @@ class Cluster:
                 raise ValueError(f"duplicate executor id {executor.executor_id!r}")
             self._by_id[executor.executor_id] = executor
             self._pool_name_of[executor.executor_id] = spec.name
+            self._speed_of[executor.executor_id] = spec.speed_factor
             if spec.task_type is TaskType.REGULAR:
                 self._regular_index[executor.executor_id] = len(self.regular_executors)
                 self.regular_executors.append(executor)
@@ -195,6 +200,18 @@ class Cluster:
             total += pool.free_slots
         return total
 
+    def total_capacity(self) -> int:
+        """Assignable task slots across all active executors of all pools.
+
+        The denominator of cluster-level load signals (federation routing
+        and migration use jobs-per-slot); tracks autoscaling because each
+        pool's capacity counts active executors only.
+        """
+        total = 0
+        for pool in self.pools:
+            total += pool.capacity
+        return total
+
     def inactive_executor_ids(self):
         """Ids of draining/retired executors across all pools (usually empty)."""
         ids = set()
@@ -220,6 +237,14 @@ class Cluster:
 
     def executor(self, executor_id: str):
         return self._by_id[executor_id]
+
+    def executor_speeds(self) -> Dict[str, float]:
+        """Live executor-id → speed-factor map (read-only by convention).
+
+        Speeds are static per executor, so the engine can hand the same
+        dict to every scheduling context without copying.
+        """
+        return self._speed_of
 
     def regular_index(self, executor_id: str) -> int:
         """Flat pool index of a regular executor (for event bookkeeping)."""

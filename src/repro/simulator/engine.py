@@ -60,9 +60,30 @@ from repro.simulator.events import EventQueue, EventType
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.placement import GreedyFirstFitPlacement, PlacementPolicy
 
-__all__ = ["SimulationConfig", "SimulationEngine"]
+__all__ = ["SimulationConfig", "SimulationEngine", "validate_arrival_order"]
 
 _EPS = 1e-9
+
+
+def validate_arrival_order(
+    job: Job, seen_ids: Set[str], last_arrival_time: float, eps: float
+) -> float:
+    """Validate one pulled arrival against the stream seen so far.
+
+    Shared by the engine's arrival lookahead and the federation's global
+    stream (same rules, same error messages): job ids must be unique and
+    arrival times non-decreasing.  Adds the id to ``seen_ids`` and returns
+    the updated high-water arrival time.
+    """
+    if job.job_id in seen_ids:
+        raise ValueError(f"duplicate job id {job.job_id!r} in arrival stream")
+    seen_ids.add(job.job_id)
+    if job.arrival_time < last_arrival_time - eps:
+        raise ValueError(
+            f"arrival stream is not time-ordered: job {job.job_id!r} arrives at "
+            f"{job.arrival_time} after {last_arrival_time}"
+        )
+    return max(last_arrival_time, job.arrival_time)
 
 
 @dataclass(frozen=True)
@@ -129,6 +150,15 @@ class SimulationEngine:
         self._next_arrival: Optional[Job] = None
         self._pull_arrival()
 
+        # Federation hooks (set by FederatedSimulationEngine when this
+        # engine drives one shard of a fleet): the shard's identity and a
+        # callable returning fleet-wide free slots per task type, surfaced
+        # to schedulers through the scheduling context.  Standalone runs
+        # keep the defaults and build contexts exactly as before.
+        self.shard_name: str = ""
+        self.shard_count: int = 1
+        self.fleet_free_slots: Optional[object] = None
+
         # Indexed event core (see module docstring).  For LLM executors the
         # cache holds the earliest-finishing *task*: its identity is stable
         # while the batch is unchanged, whereas its absolute finish time is
@@ -189,16 +219,9 @@ class SimulationEngine:
         self._next_arrival = next(self._arrivals, None)
         if self._next_arrival is None:
             return
-        job = self._next_arrival
-        if job.job_id in self._seen_job_ids:
-            raise ValueError(f"duplicate job id {job.job_id!r} in arrival stream")
-        self._seen_job_ids.add(job.job_id)
-        if job.arrival_time < self._last_arrival_time - self.config.eps:
-            raise ValueError(
-                f"arrival stream is not time-ordered: job {job.job_id!r} arrives at "
-                f"{job.arrival_time} after {self._last_arrival_time}"
-            )
-        self._last_arrival_time = max(self._last_arrival_time, job.arrival_time)
+        self._last_arrival_time = validate_arrival_order(
+            self._next_arrival, self._seen_job_ids, self._last_arrival_time, self.config.eps
+        )
 
     def _admit_arrivals(self, now: float) -> None:
         eps = self.config.eps
@@ -235,6 +258,15 @@ class SimulationEngine:
         )
         if inactive:
             context.inactive_executor_ids = inactive
+        if self.scheduler.preemptive:
+            # The cluster's speed map is static and shared, not copied, so
+            # this costs one reference per context.
+            context.executor_speeds = self.cluster.executor_speeds()
+        if self.shard_count > 1 or self.shard_name:
+            context.shard_name = self.shard_name
+            context.shard_count = self.shard_count
+            if self.fleet_free_slots is not None:
+                context.fleet_free_slots = self.fleet_free_slots()
         return context
 
     def _dispatch(self) -> None:

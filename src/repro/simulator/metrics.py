@@ -34,6 +34,12 @@ class SimulationMetrics:
     #: per-named-pool busy fractions of the run.
     scale_events: List[Dict[str, object]] = field(default_factory=list)
     pool_utilization: Dict[str, float] = field(default_factory=dict)
+    #: Cross-shard migration accounting (federated runs only): jobs this
+    #: shard handed off / received, plus the executor counts the federation
+    #: uses to weight fleet-level utilization.
+    num_migrations_out: int = 0
+    num_migrations_in: int = 0
+    executor_counts: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def record_job_completion(self, job_id: str, application: str, jct: float) -> None:
@@ -54,6 +60,12 @@ class SimulationMetrics:
 
     def record_scale_event(self, event: Dict[str, object]) -> None:
         self.scale_events.append(dict(event))
+
+    def record_migration_out(self) -> None:
+        self.num_migrations_out += 1
+
+    def record_migration_in(self) -> None:
+        self.num_migrations_in += 1
 
     # ------------------------------------------------------------------ #
     @property

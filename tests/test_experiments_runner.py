@@ -213,3 +213,71 @@ class TestPlacementAndAutoscaling:
         )
         assert len(metrics.job_completion_times) == 40
         assert metrics.scale_events
+
+
+class TestFederation:
+    def test_split_cluster_config_preserves_totals(self):
+        from repro.experiments.runner import split_cluster_config
+        from repro.simulator.cluster import ClusterConfig
+
+        total = ClusterConfig(num_regular_executors=10, num_llm_executors=5, max_batch_size=4)
+        shards = split_cluster_config(total, 4)
+        assert sum(c.num_regular_executors for c in shards) == 10
+        assert sum(c.num_llm_executors for c in shards) == 5
+        assert all(c.num_llm_executors >= 1 for c in shards)
+        assert all(c.max_batch_size == 4 for c in shards)
+        with pytest.raises(ValueError, match="cannot split"):
+            split_cluster_config(total, 6)  # only 5 LLM executors to go around
+
+    def test_run_federated(self, prepared):
+        from repro.experiments.runner import run_federated
+        from repro.simulator.cluster import ClusterConfig
+        from repro.simulator.federation import MigrationConfig
+
+        applications, priors, profiler = prepared
+        spec = OpenLoopSpec(
+            process=PoissonProcess(rate=2.0, seed=5), seed=5, max_jobs=30, name="poisson"
+        )
+        metrics = run_federated(
+            "fcfs",
+            spec,
+            num_shards=2,
+            cluster_config=ClusterConfig(num_regular_executors=6, num_llm_executors=2),
+            migration=MigrationConfig(interval=20.0, imbalance_threshold=0.3),
+            applications=applications,
+            settings=TINY,
+            priors=priors,
+            profiler=profiler,
+        )
+        assert len(metrics.job_completion_times) == 30
+        assert set(metrics.shards) == {"shard-0", "shard-1"}
+        assert metrics.router_name == "least_loaded"
+
+    def test_sweep_shard_counts_same_jobs_every_cell(self):
+        from repro.experiments.runner import sweep_shard_counts
+        from repro.simulator.cluster import ClusterConfig
+
+        spec = OpenLoopSpec(
+            process=PoissonProcess(rate=3.0, seed=9), seed=9, max_jobs=24, name="poisson"
+        )
+        results = sweep_shard_counts(
+            [1, 2],
+            spec,
+            ClusterConfig(num_regular_executors=8, num_llm_executors=4),
+            scheduler_name="fcfs",
+            settings=TINY,
+            processes=1,
+        )
+        assert set(results) == {1, 2}
+        jobs_1 = set(results[1].job_completion_times)
+        jobs_2 = set(results[2].job_completion_times)
+        assert jobs_1 == jobs_2  # identical stream replayed per cell
+        assert len(results[2].shards) == 2
+
+    def test_sweep_shard_counts_validates_inputs(self):
+        from repro.experiments.runner import sweep_shard_counts
+        from repro.simulator.cluster import ClusterConfig
+
+        spec = OpenLoopSpec(process=PoissonProcess(rate=1.0, seed=1), seed=1, max_jobs=5)
+        with pytest.raises(ValueError):
+            sweep_shard_counts([], spec, ClusterConfig())

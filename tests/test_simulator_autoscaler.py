@@ -174,6 +174,35 @@ class TestCheck:
         autoscaler.check(cluster, {TaskType.LLM: 0, TaskType.REGULAR: 0}, 10.0 - 5e-10, eps=1e-9)
         assert autoscaler.next_check_time == pytest.approx(20.0)
 
+    def test_scale_down_capped_per_type_across_siblings(self):
+        """Regression: every idle sibling pool used to drain ``step``
+        executors in one check event, dropping the type's capacity by
+        pools x step — far below the band's one-step-per-event intent."""
+        cluster = Cluster(
+            pools=[
+                PoolSpec("cpu-a", TaskType.REGULAR, 4, min_executors=0),
+                PoolSpec("cpu-b", TaskType.REGULAR, 4, min_executors=0),
+                PoolSpec("cpu-c", TaskType.REGULAR, 4, min_executors=0),
+                PoolSpec("gpu", TaskType.LLM, 2, max_batch_size=2, min_executors=1),
+            ]
+        )
+        autoscaler = ThresholdAutoscaler(AutoscalerConfig(interval=10.0, step=2))
+        events = autoscaler.check(cluster, {TaskType.REGULAR: 0, TaskType.LLM: 0}, 10.0)
+        regular_drained = -sum(
+            e.delta for e in events if e.delta < 0 and e.pool.startswith("cpu")
+        )
+        assert regular_drained == 2  # was 6 before the per-type cap
+        assert (
+            sum(cluster.pool(n).num_active_executors for n in ("cpu-a", "cpu-b", "cpu-c"))
+            == 10
+        )
+        # The LLM budget is independent: its lone eligible pool still drains.
+        assert any(e.pool == "gpu" and e.delta < 0 for e in events)
+        # Later check events re-arm the budget, so the drain continues at
+        # one type-step per event instead of stalling.
+        events2 = autoscaler.check(cluster, {TaskType.REGULAR: 0, TaskType.LLM: 0}, 20.0)
+        assert -sum(e.delta for e in events2 if e.pool.startswith("cpu")) == 2
+
     def test_zero_capacity_pool_scales_up_on_backlog(self):
         cluster = Cluster(
             pools=[

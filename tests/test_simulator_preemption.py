@@ -268,6 +268,125 @@ class TestEnginePreemption:
         assert metrics.num_preemptions == 0  # every directive was stale
 
 
+class TestVictimFloor:
+    """Near-finish victims are pure churn: their slot frees at the next
+    completion event anyway, and restart-from-scratch preemption discards
+    almost the whole task.  The remaining-time floor must skip them."""
+
+    def test_floor_reduces_wasted_work_on_bursty_mmpp(self):
+        _, greedy = run_bursty(
+            PreemptiveSrtfScheduler(
+                remaining_estimator=true_remaining,
+                min_victim_remaining=0.0,
+                checkpoint=False,
+            )
+        )
+        _, floored = run_bursty(
+            PreemptiveSrtfScheduler(
+                remaining_estimator=true_remaining,
+                min_victim_remaining=0.5,
+                checkpoint=False,
+            )
+        )
+        assert greedy.wasted_work > 0
+        assert floored.wasted_work < greedy.wasted_work
+        # Sparing nearly-done victims must not regress mean JCT.
+        assert floored.average_jct <= greedy.average_jct * 1.01
+        assert len(floored.job_completion_times) == len(greedy.job_completion_times)
+
+    def test_default_floor_preserves_checkpointed_behavior(self):
+        """The eps-scale default only excludes effectively-finished tasks,
+        so the checkpointing scheduler's trace is unchanged."""
+        _, zero = run_bursty(
+            PreemptiveSrtfScheduler(remaining_estimator=true_remaining, min_victim_remaining=0.0)
+        )
+        _, default = run_bursty(PreemptiveSrtfScheduler(remaining_estimator=true_remaining))
+        assert default.job_completion_times == zero.job_completion_times
+        assert default.num_preemptions == zero.num_preemptions
+
+    def test_floor_skips_near_finish_victim_for_next_eligible(self):
+        from repro.dag.job import Job
+        from repro.dag.stage import Stage, StageSpec, StageType
+        from repro.schedulers.base import SchedulingContext
+
+        def regular_job(job_id, work, arrival=0.0):
+            job = Job(job_id, "app", arrival)
+            job.add_stage(Stage(StageSpec("reg", StageType.REGULAR), job_id, [work]))
+            job.finalize()
+            return job
+
+        # The longest-remaining job's task is milliseconds from finishing;
+        # the next victim down still has real time to run.
+        almost_done = regular_job("long", 100.0)
+        mid_job = regular_job("mid", 50.0)
+        blocked_job = regular_job("blocked", 1.0, arrival=99.0)
+        near_task = almost_done.stage("reg").tasks[0]
+        mid_task = mid_job.stage("reg").tasks[0]
+        near_task.mark_running(0.0, "reg-0")   # at t=99.9: ~0.1s remaining
+        mid_task.mark_running(99.0, "reg-1")   # at t=99.9: ~49.1s remaining
+
+        scheduler = PreemptiveSrtfScheduler(
+            remaining_estimator=true_remaining, min_victim_remaining=0.5
+        )
+        context = SchedulingContext(
+            time=99.9,
+            jobs=[almost_done, mid_job, blocked_job],
+            free_regular_slots=0,
+            free_llm_slots=0,
+        )
+        decision = scheduler.schedule(context)
+        targeted = {d.task.uid for d in decision.preemptions}
+        # Without the floor SRTF would checkpoint near_task (its job has
+        # remaining 100 > 50); with it, the budget goes to mid_task.
+        assert targeted == {mid_task.uid}
+
+    def test_floor_accounts_for_executor_speed(self):
+        """On a 2x pool a task's wall-clock remaining time is half its
+        remaining work; the floor must spare it once the *wall* time is
+        below the threshold (context carries the executor speed map)."""
+        from repro.dag.job import Job
+        from repro.dag.stage import Stage, StageSpec, StageType
+        from repro.schedulers.base import SchedulingContext
+
+        def regular_job(job_id, work, arrival=0.0):
+            job = Job(job_id, "app", arrival)
+            job.add_stage(Stage(StageSpec("reg", StageType.REGULAR), job_id, [work]))
+            job.finalize()
+            return job
+
+        fast_job = regular_job("fast", 100.0)
+        blocked_job = regular_job("blocked", 1.0, arrival=49.0)
+        fast_task = fast_job.stage("reg").tasks[0]
+        fast_task.mark_running(0.0, "turbo-0")
+
+        scheduler = PreemptiveSrtfScheduler(
+            remaining_estimator=true_remaining, min_victim_remaining=0.5
+        )
+        # At t=49.9 on a speed-2.0 executor the task has 100/2 - 49.9 =
+        # 0.1s of wall time left — below the floor, so no preemption.
+        context = SchedulingContext(
+            time=49.9,
+            jobs=[fast_job, blocked_job],
+            free_regular_slots=0,
+            free_llm_slots=0,
+            executor_speeds={"turbo-0": 2.0},
+        )
+        assert scheduler.schedule(context).preemptions == []
+        # Without the speed map the same task looks 50.1s from finishing
+        # and gets needlessly checkpointed.
+        context_no_speeds = SchedulingContext(
+            time=49.9,
+            jobs=[fast_job, blocked_job],
+            free_regular_slots=0,
+            free_llm_slots=0,
+        )
+        assert scheduler.schedule(context_no_speeds).preemptions != []
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ValueError):
+            PreemptiveSrtfScheduler(min_victim_remaining=-0.1)
+
+
 class TestRegistry:
     def test_preemptive_name_behind_flag(self):
         assert "srtf_preempt" not in available_schedulers()
