@@ -1,0 +1,113 @@
+"""Decision-latency degradation benchmark: JCT vs charged decision latency.
+
+Every registered scheduler replays the *identical* workload draw on the
+identical (deliberately congested) cluster behind an
+:class:`~repro.simulator.async_sched.AsyncSchedulerBackend`, sweeping the
+charged decision latency.  The curve quantifies how much of each
+scheduler's paper-reported advantage survives realistic control-plane
+delay; latency 0 in non-pipelined mode is asserted **bit-identical** to
+the synchronous engine, so the curves are anchored at today's golden
+numbers.  Asserts a monotone (non-decreasing, strictly growing overall)
+degradation curve for at least 3 schedulers — the ISSUE 4 acceptance bar
+— and dumps everything into ``BENCH_4.json`` (CI artifact + regression
+baseline).
+
+Smoke mode (``BENCH_SCALE=smoke``) shrinks the job count for CI.
+"""
+
+import os
+
+from bench_output import record_bench_section
+from conftest import BENCH_SETTINGS
+from repro.experiments.runner import build_priors, build_profiler, run_single
+from repro.schedulers.registry import available_schedulers
+from repro.simulator.async_sched import AsyncConfig
+from repro.simulator.cluster import ClusterConfig
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+
+SMOKE = os.environ.get("BENCH_SCALE") == "smoke"
+NUM_JOBS = 30 if SMOKE else 80
+LATENCIES = (0.0, 1.0, 2.0, 5.0)
+MIN_MONOTONE_SCHEDULERS = 3
+OUTPUT_FILE = "BENCH_4.json"
+
+SPEC = WorkloadSpec(
+    workload_type=WorkloadType.MIXED, num_jobs=NUM_JOBS, arrival_rate=1.2, seed=7
+)
+#: Small on purpose: decision latency only bites under contention.
+CLUSTER = ClusterConfig(num_regular_executors=3, num_llm_executors=2, max_batch_size=4)
+
+SCHEDULERS = available_schedulers(include_llmsched=True)
+
+
+def is_monotone_degradation(jcts):
+    """Non-decreasing along the latency grid and strictly worse overall."""
+    eps = 1e-9
+    return all(b >= a - eps for a, b in zip(jcts, jcts[1:])) and jcts[-1] > jcts[0]
+
+
+def test_bench_async_latency_degradation():
+    applications = default_applications()
+    priors = build_priors(applications, BENCH_SETTINGS)
+    profiler = build_profiler(applications, BENCH_SETTINGS)
+
+    curves = {}
+    monotone = []
+    for name in SCHEDULERS:
+        sync = run_single(
+            name,
+            SPEC,
+            applications=applications,
+            settings=BENCH_SETTINGS,
+            priors=priors,
+            profiler=profiler,
+            cluster_config=CLUSTER,
+        )
+        jcts = []
+        for latency in LATENCIES:
+            metrics = run_single(
+                name,
+                SPEC,
+                applications=applications,
+                settings=BENCH_SETTINGS,
+                priors=priors,
+                profiler=profiler,
+                cluster_config=CLUSTER,
+                async_config=AsyncConfig(latency=latency),
+            )
+            if latency == 0.0:
+                # The async backend at latency 0 must be the synchronous
+                # engine bit for bit, for every scheduler.
+                assert metrics.job_completion_times == sync.job_completion_times, name
+                assert metrics.makespan == sync.makespan, name
+            jcts.append(metrics.average_jct)
+        curves[name] = jcts
+        if is_monotone_degradation(jcts):
+            monotone.append(name)
+
+    print(f"\nasync decision-latency degradation ({NUM_JOBS} jobs, latencies {LATENCIES}):")
+    for name, jcts in curves.items():
+        curve = "  ".join(f"{j:8.2f}" for j in jcts)
+        tag = "monotone" if name in monotone else "        "
+        print(f"  {name:>12}  {curve}   x{jcts[-1] / jcts[0]:.2f}  {tag}")
+
+    assert len(monotone) >= MIN_MONOTONE_SCHEDULERS, (
+        f"only {monotone} degrade monotonically with decision latency "
+        f"(need >= {MIN_MONOTONE_SCHEDULERS})"
+    )
+
+    record_bench_section(
+        "async_latency_degradation",
+        {
+            "num_jobs": NUM_JOBS,
+            "latencies": list(LATENCIES),
+            "average_jct_by_scheduler": {
+                name: dict(zip(map(str, LATENCIES), jcts)) for name, jcts in curves.items()
+            },
+            "degradation_at_max_latency": {
+                name: jcts[-1] / jcts[0] for name, jcts in curves.items()
+            },
+            "monotone_schedulers": monotone,
+        },
+        filename=OUTPUT_FILE,
+    )

@@ -1,0 +1,107 @@
+"""Asynchronous scheduling: what decision latency and stale views cost.
+
+Run with::
+
+    PYTHONPATH=src python examples/async_staleness.py
+
+Two experiments, both kept fast with the FCFS baseline (no profiler
+fitting needed):
+
+1. **Decision latency** — the same congested workload is scheduled
+   synchronously, then behind an asynchronous backend charging a growing
+   decision latency, then with pipelining (next snapshot taken while the
+   previous decision is still in flight).  Latency stretches JCT; the
+   pipeline claws part of it back by keeping decisions overlapping, at
+   the price of conflicts between decisions computed from overlapping
+   snapshots (dropped placements are requeued and metered, never lost).
+
+2. **Stale cluster views** — a three-shard federation routes the same
+   Poisson stream least-loaded, but reading shard loads refreshed only
+   every ``view_refresh_interval`` seconds.  A fresh view (interval 0)
+   is exact least-loaded routing; as the view ages, arrival bursts pile
+   onto whichever shard *looked* coldest when the window opened, and the
+   fleet JCT degrades toward blind routing.
+"""
+
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator import (
+    AsyncConfig,
+    AsyncSchedulerBackend,
+    Cluster,
+    ClusterConfig,
+    FederatedCluster,
+    FederatedSimulationEngine,
+    LeastLoadedRouter,
+    SimulationEngine,
+    StaleLeastLoadedRouter,
+)
+from repro.workloads.arrivals import PoissonProcess, open_loop_jobs
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications, generate_workload
+
+APPLICATIONS = default_applications()
+
+#: Deliberately small: decision latency only bites under contention.
+CLUSTER = ClusterConfig(num_regular_executors=3, num_llm_executors=2, max_batch_size=4)
+SPEC = WorkloadSpec(workload_type=WorkloadType.MIXED, num_jobs=60, arrival_rate=1.2, seed=7)
+
+SHARD = ClusterConfig(num_regular_executors=2, num_llm_executors=1, max_batch_size=4)
+STREAM_JOBS = 120
+
+
+def run_async(async_config=None):
+    jobs = generate_workload(SPEC, applications=APPLICATIONS)
+    backend = AsyncSchedulerBackend(async_config) if async_config is not None else None
+    engine = SimulationEngine(
+        jobs, FcfsScheduler(), cluster=Cluster(CLUSTER), async_backend=backend
+    )
+    return engine.run()
+
+
+def decision_latency_experiment():
+    print("=== decision latency (60 jobs, congested 3+2 cluster, FCFS) ===")
+    sync = run_async()
+    print(f"  synchronous                 mean JCT {sync.average_jct:8.2f}s")
+    for latency in (0.5, 2.0, 5.0):
+        m = run_async(AsyncConfig(latency=latency))
+        print(
+            f"  latency {latency:4.1f}s               mean JCT {m.average_jct:8.2f}s"
+            f"  (x{m.average_jct / sync.average_jct:.2f}, "
+            f"{m.num_async_decisions} async decisions)"
+        )
+    for latency in (2.0, 5.0):
+        m = run_async(AsyncConfig(latency=latency, pipelined=True, max_in_flight=3))
+        print(
+            f"  latency {latency:4.1f}s, pipelined x3  mean JCT {m.average_jct:8.2f}s"
+            f"  (x{m.average_jct / sync.average_jct:.2f}, "
+            f"{m.num_stale_placements} stale placements, "
+            f"{m.num_placement_conflicts} conflicts)"
+        )
+
+
+def stale_view_experiment():
+    print("\n=== stale cluster views (3 shards, least-loaded routing) ===")
+
+    def run(router):
+        stream = open_loop_jobs(
+            PoissonProcess(rate=2.0, seed=5), seed=5, max_jobs=STREAM_JOBS
+        )
+        fleet = FederatedCluster(
+            [(f"shard-{i}", Cluster(SHARD)) for i in range(3)], router=router
+        )
+        return FederatedSimulationEngine(
+            stream, FcfsScheduler, fleet, workload_name="poisson"
+        ).run()
+
+    fresh = run(LeastLoadedRouter())
+    print(f"  fresh view (synchronous)    fleet JCT {fresh.average_jct:8.2f}s")
+    for interval in (5.0, 30.0, 120.0):
+        m = run(StaleLeastLoadedRouter(view_refresh_interval=interval))
+        print(
+            f"  view refreshed every {interval:5.1f}s fleet JCT {m.average_jct:8.2f}s"
+            f"  (x{m.average_jct / fresh.average_jct:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    decision_latency_experiment()
+    stale_view_experiment()

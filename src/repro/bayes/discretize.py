@@ -9,7 +9,7 @@ is how chain-like applications with variable length are handled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

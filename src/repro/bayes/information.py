@@ -10,7 +10,7 @@ These implement the quantities of the paper's Section IV-C:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.bayes.information import conditional_mutual_information
 from repro.bayes.learning import StructureLearningConfig, build_network_from_samples
 from repro.bayes.network import DiscreteBayesianNetwork
 from repro.dag.application import ApplicationTemplate
-from repro.dag.dynamic import StageCandidate, dynamic_stage_entropy
+from repro.dag.dynamic import dynamic_stage_entropy
 from repro.dag.job import Job
 from repro.utils.rng import make_rng
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.llmsched import LLMSchedConfig
 from repro.experiments.report import format_series

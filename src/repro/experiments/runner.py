@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,9 +25,11 @@ from repro.schedulers.base import Scheduler
 from repro.schedulers.priors import ApplicationPriors
 from repro.schedulers.registry import create_scheduler
 from repro.schedulers.srtf import SrtfScheduler
+from repro.simulator.async_sched import AsyncConfig, AsyncSchedulerBackend
 from repro.simulator.autoscaler import AutoscalerConfig, ThresholdAutoscaler
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.engine import SimulationEngine
+from repro.simulator.protocol import ensure_engine_protocol
 from repro.simulator.federation import (
     FederatedCluster,
     FederatedSimulationEngine,
@@ -44,7 +46,6 @@ from repro.utils.rng import make_rng
 from repro.workloads.arrivals import OpenLoopSpec
 from repro.workloads.mixtures import (
     WorkloadSpec,
-    WorkloadType,
     default_applications,
     generate_workload,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "run_comparison",
     "run_cells_parallel",
     "sweep_arrival_rates",
+    "sweep_decision_latency",
     "sweep_placement_policies",
     "run_autoscaled_diurnal",
     "split_cluster_config",
@@ -257,11 +259,14 @@ def run_single(
     cluster_config: Optional[ClusterConfig] = None,
     pools: Optional[Sequence[PoolSpec]] = None,
     placement: Optional[PlacementPolicy] = None,
+    async_config: Optional[AsyncConfig] = None,
 ) -> SimulationMetrics:
     """Run one scheduler on one workload draw and return its metrics.
 
     ``pools`` (a heterogeneous pool layout) overrides ``cluster_config``;
-    ``placement`` selects the placement policy (greedy first-fit default).
+    ``placement`` selects the placement policy (greedy first-fit default);
+    ``async_config`` runs the scheduler behind an asynchronous
+    decision-latency backend (default: synchronous, exactly as before).
     """
     settings = settings or ExperimentSettings()
     applications = applications or default_applications()
@@ -275,12 +280,17 @@ def run_single(
 
     jobs = generate_workload(spec, applications=applications)
     scheduler = _make_scheduler(scheduler_name, priors, profiler, settings)
-    engine = SimulationEngine(
-        jobs,
-        scheduler,
-        cluster=cluster,
-        workload_name=spec.workload_type.value,
-        placement=placement,
+    engine = ensure_engine_protocol(
+        SimulationEngine(
+            jobs,
+            scheduler,
+            cluster=cluster,
+            workload_name=spec.workload_type.value,
+            placement=placement,
+            async_backend=(
+                AsyncSchedulerBackend(async_config) if async_config is not None else None
+            ),
+        )
     )
     return engine.run()
 
@@ -327,6 +337,7 @@ def run_single_open_loop(
     pools: Optional[Sequence[PoolSpec]] = None,
     placement: Optional[PlacementPolicy] = None,
     autoscaler: Optional[ThresholdAutoscaler] = None,
+    async_config: Optional[AsyncConfig] = None,
 ) -> SimulationMetrics:
     """Run one scheduler against a streamed (open-loop) arrival process.
 
@@ -335,7 +346,8 @@ def run_single_open_loop(
     rate; pass ``nominal_rate`` (or an explicit ``cluster_config`` /
     ``pools`` layout) because a general arrival process has no single rate
     attribute.  ``autoscaler`` resizes pools at scale events (diurnal runs);
-    ``placement`` selects the placement policy.
+    ``placement`` selects the placement policy; ``async_config`` charges
+    decision latency through an asynchronous backend.
     """
     settings = settings or ExperimentSettings()
     applications = applications or default_applications()
@@ -358,13 +370,18 @@ def run_single_open_loop(
         cluster = Cluster(cluster_config)
 
     scheduler = _make_scheduler(scheduler_name, priors, profiler, settings)
-    engine = SimulationEngine(
-        open_spec.jobs(dict(applications)),
-        scheduler,
-        cluster=cluster,
-        workload_name=open_spec.name,
-        placement=placement,
-        autoscaler=autoscaler,
+    engine = ensure_engine_protocol(
+        SimulationEngine(
+            open_spec.jobs(dict(applications)),
+            scheduler,
+            cluster=cluster,
+            workload_name=open_spec.name,
+            placement=placement,
+            autoscaler=autoscaler,
+            async_backend=(
+                AsyncSchedulerBackend(async_config) if async_config is not None else None
+            ),
+        )
     )
     return engine.run()
 
@@ -383,6 +400,10 @@ class SweepCell:
     ``cluster_config`` with a heterogeneous layout, and
     ``placement_policy`` names the placement policy for the cell (factory
     names from :mod:`repro.simulator.placement`; None = greedy first-fit).
+    ``async_config`` runs the cell's scheduler behind an asynchronous
+    decision-latency backend (None = synchronous; the config and its
+    latency model are plain picklable objects, so cells still fan out
+    over worker processes).
     """
 
     scheduler_name: str
@@ -390,6 +411,7 @@ class SweepCell:
     cluster_config: Optional[ClusterConfig] = None
     pools: Optional[Tuple[PoolSpec, ...]] = None
     placement_policy: Optional[str] = None
+    async_config: Optional[AsyncConfig] = None
 
 
 #: Per-worker-process cache: profiler fitting is the expensive part of a
@@ -425,6 +447,7 @@ def _run_cell(args: Tuple[SweepCell, ExperimentSettings]) -> Tuple[SweepCell, Si
         cluster_config=cell.cluster_config,
         pools=cell.pools,
         placement=placement,
+        async_config=cell.async_config,
     )
     return cell, metrics
 
@@ -495,6 +518,57 @@ def sweep_arrival_rates(
             by_rate[rate] = ComparisonResult(workload=cell.spec, metrics={})
         by_rate[rate].metrics[cell.scheduler_name] = metrics
     return by_rate
+
+
+def sweep_decision_latency(
+    latencies: Sequence[float],
+    scheduler_names: Sequence[str],
+    base_spec: Optional[WorkloadSpec] = None,
+    settings: Optional[ExperimentSettings] = None,
+    processes: Optional[int] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    pipelined: bool = False,
+) -> Dict[float, ComparisonResult]:
+    """Compare schedulers across a grid of decision latencies, in parallel.
+
+    Every (scheduler, latency) cell replays the *identical* workload draw on
+    the identical cluster; only the charged decision latency differs, so the
+    per-latency :class:`ComparisonResult` isolates how much of a scheduler's
+    advantage survives control-plane delay.  Latency 0 in non-pipelined mode
+    is the synchronous engine bit for bit, so the curve is anchored at
+    today's numbers.  ``pipelined`` lets decisions overlap (next snapshot
+    taken while the previous decision is in flight).
+    """
+    if not latencies:
+        raise ValueError("latencies must not be empty")
+    if not scheduler_names:
+        raise ValueError("scheduler_names must not be empty")
+    if any(latency < 0 for latency in latencies):
+        raise ValueError("decision latencies must be >= 0")
+    base_spec = base_spec or WorkloadSpec()
+    if cluster_config is None:
+        settings = settings or ExperimentSettings()
+        cluster_config = size_cluster_for_workload(
+            base_spec, default_applications(), settings
+        )
+    cells = [
+        SweepCell(
+            name,
+            base_spec,
+            cluster_config,
+            async_config=AsyncConfig(latency=float(latency), pipelined=pipelined),
+        )
+        for latency in latencies
+        for name in scheduler_names
+    ]
+    results = run_cells_parallel(cells, settings=settings, processes=processes)
+    by_latency: Dict[float, ComparisonResult] = {}
+    for cell, metrics in results:
+        latency = float(cell.async_config.latency)
+        if latency not in by_latency:
+            by_latency[latency] = ComparisonResult(workload=cell.spec, metrics={})
+        by_latency[latency].metrics[cell.scheduler_name] = metrics
+    return by_latency
 
 
 def sweep_placement_policies(
@@ -570,6 +644,7 @@ def run_federated(
     profiler: Optional[BayesianProfiler] = None,
     cluster_config: Optional[ClusterConfig] = None,
     nominal_rate: Optional[float] = None,
+    async_config: Optional[AsyncConfig] = None,
 ) -> FederationMetrics:
     """Run one scheduler on a sharded fleet fed by an open-loop stream.
 
@@ -577,7 +652,9 @@ def run_federated(
     the shards (see :func:`split_cluster_config`); when omitted it is
     derived from ``nominal_rate`` exactly like :func:`run_single_open_loop`.
     Each shard gets its own scheduler instance from the ordinary factory,
-    and ``migration`` enables cross-shard checkpoint rebalancing.
+    ``migration`` enables cross-shard checkpoint rebalancing, and
+    ``async_config`` gives every shard its own asynchronous
+    decision-latency backend.
     """
     settings = settings or ExperimentSettings()
     applications = applications or default_applications()
@@ -599,12 +676,19 @@ def run_federated(
         [(f"shard-{i}", Cluster(cfg)) for i, cfg in enumerate(shard_configs)],
         router=create_job_router(router) if isinstance(router, str) else router,
     )
-    engine = FederatedSimulationEngine(
-        open_spec.jobs(dict(applications)),
-        lambda: _make_scheduler(scheduler_name, priors, profiler, settings),
-        fleet,
-        workload_name=open_spec.name,
-        migration=migration,
+    engine = ensure_engine_protocol(
+        FederatedSimulationEngine(
+            open_spec.jobs(dict(applications)),
+            lambda: _make_scheduler(scheduler_name, priors, profiler, settings),
+            fleet,
+            workload_name=open_spec.name,
+            migration=migration,
+            async_backend_factory=(
+                (lambda: AsyncSchedulerBackend(async_config))
+                if async_config is not None
+                else None
+            ),
+        )
     )
     return engine.run()
 

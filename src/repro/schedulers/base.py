@@ -13,6 +13,7 @@ that want it).
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
@@ -66,6 +67,11 @@ class SchedulingContext:
     shard_name: str = ""
     shard_count: int = 1
     fleet_free_slots: Dict[TaskType, int] = field(default_factory=dict)
+    #: Set on contexts produced by :meth:`snapshot`: the simulation time at
+    #: which the view was frozen.  Live contexts keep ``None``.  Asynchronous
+    #: backends hand snapshots to schedulers so a decision computed during a
+    #: latency window cannot observe (or corrupt) later cluster mutations.
+    snapshot_time: Optional[float] = None
     # Lazily-built job_id -> Job index backing job_of (built at most once
     # per context; contexts are snapshots, so the job set never changes).
     _jobs_by_id: Optional[Dict[str, Job]] = field(default=None, repr=False, compare=False)
@@ -106,6 +112,34 @@ class SchedulingContext:
         if not self.llm_batch_sizes:
             return 1.0
         return max(1.0, sum(self.llm_batch_sizes) / len(self.llm_batch_sizes))
+
+    @property
+    def is_snapshot(self) -> bool:
+        return self.snapshot_time is not None
+
+    def snapshot(self) -> "SchedulingContext":
+        """A deep-copied view of this context, immune to live mutations.
+
+        Jobs (with their stages and tasks) are deep-copied, so a scheduler
+        deciding against the snapshot sees the cluster exactly as it was at
+        ``time`` no matter what the live simulation does in the meantime.
+        The tasks inside a decision computed from a snapshot are therefore
+        *copies*; whoever applies the decision must map them back onto the
+        live jobs by key (see ``SimulationEngine._resolve_live_task``).
+        """
+        return SchedulingContext(
+            time=self.time,
+            jobs=copy.deepcopy(self.jobs),
+            free_regular_slots=self.free_regular_slots,
+            free_llm_slots=self.free_llm_slots,
+            llm_batch_sizes=list(self.llm_batch_sizes),
+            inactive_executor_ids=set(self.inactive_executor_ids),
+            executor_speeds=dict(self.executor_speeds),
+            shard_name=self.shard_name,
+            shard_count=self.shard_count,
+            fleet_free_slots=dict(self.fleet_free_slots),
+            snapshot_time=self.time,
+        )
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from repro.schedulers.argus import ArgusScheduler
 from repro.schedulers.base import Scheduler

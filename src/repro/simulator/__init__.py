@@ -40,8 +40,18 @@ from repro.simulator.placement import (
 )
 from repro.simulator.autoscaler import AutoscalerConfig, ScaleEvent, ThresholdAutoscaler
 from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.async_sched import (
+    AsyncConfig,
+    AsyncSchedulerBackend,
+    DecisionLatencyModel,
+    FixedLatency,
+    PerJobLinearLatency,
+    SampledLatency,
+    create_latency_model,
+)
 from repro.simulator.engine import SimulationEngine, SimulationConfig
 from repro.simulator.events import EventQueue, SimulationEvent
+from repro.simulator.protocol import SimulationEngineProtocol, ensure_engine_protocol
 from repro.simulator.federation import (
     FederatedCluster,
     FederatedSimulationEngine,
@@ -51,6 +61,7 @@ from repro.simulator.federation import (
     LeastLoadedRouter,
     MigrationConfig,
     MigrationEvent,
+    StaleLeastLoadedRouter,
     TypeAffinityRouter,
     create_job_router,
 )
@@ -76,6 +87,15 @@ __all__ = [
     "SimulationMetrics",
     "SimulationEngine",
     "SimulationConfig",
+    "SimulationEngineProtocol",
+    "ensure_engine_protocol",
+    "AsyncConfig",
+    "AsyncSchedulerBackend",
+    "DecisionLatencyModel",
+    "FixedLatency",
+    "PerJobLinearLatency",
+    "SampledLatency",
+    "create_latency_model",
     "EventQueue",
     "SimulationEvent",
     "FederatedCluster",
@@ -84,6 +104,7 @@ __all__ = [
     "JobRouter",
     "HashRouter",
     "LeastLoadedRouter",
+    "StaleLeastLoadedRouter",
     "TypeAffinityRouter",
     "MigrationConfig",
     "MigrationEvent",

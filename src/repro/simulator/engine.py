@@ -2,13 +2,18 @@
 
 The engine owns the clock, the cluster and the job set; the scheduling
 policy, the placement policy and (optionally) an autoscaler are pluggable.
-Scheduling points are job arrivals, task completions and — when an
-autoscaler is configured — periodic scale events.  At every scheduling
-point the engine snapshots the cluster, invokes the scheduler (timing the
-call for the scheduling-overhead numbers of the paper's Table I), applies
-any preemption directives the decision carries (checkpointing running
-tasks back to pending with work conserved), and walks the returned
-preference lists, asking the placement policy for a pool per task.
+Scheduling points are job arrivals, task completions, periodic scale
+events (when an autoscaler is configured) and decision-ready events (when
+an :class:`~repro.simulator.async_sched.AsyncSchedulerBackend` is
+configured).  At every scheduling point the engine snapshots the cluster,
+invokes the scheduler (timing the call for the scheduling-overhead
+numbers of the paper's Table I), applies any preemption directives the
+decision carries (checkpointing running tasks back to pending with work
+conserved), and walks the returned preference lists, asking the placement
+policy for a pool per task.  With an async backend the invocation runs
+against a deep snapshot instead, the decision waits out a configurable
+latency in flight, and its application against the live cluster resolves
+whatever changed in the meantime (see :meth:`_apply_async_decision`).
 
 Event core
 ----------
@@ -53,7 +58,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 from repro.dag.job import Job
 from repro.dag.stage import StageState
 from repro.dag.task import Task, TaskState, TaskType
-from repro.schedulers.base import PreemptionDirective, Scheduler, SchedulingContext
+from repro.schedulers.base import (
+    PreemptionDirective,
+    Scheduler,
+    SchedulingContext,
+    SchedulingDecision,
+)
+from repro.simulator.async_sched import AsyncSchedulerBackend
 from repro.simulator.autoscaler import ThresholdAutoscaler
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.events import EventQueue, EventType
@@ -121,6 +132,7 @@ class SimulationEngine:
         workload_name: str = "",
         placement: Optional[PlacementPolicy] = None,
         autoscaler: Optional[ThresholdAutoscaler] = None,
+        async_backend: Optional[AsyncSchedulerBackend] = None,
     ) -> None:
         if cluster is None:
             cluster = Cluster(cluster_config or ClusterConfig())
@@ -131,6 +143,9 @@ class SimulationEngine:
         self.autoscaler = autoscaler
         if autoscaler is not None:
             autoscaler.reset()  # instances reused across runs re-arm at t=0
+        self.async_backend = async_backend
+        if async_backend is not None:
+            async_backend.reset()  # same: re-arm in-flight state at t=0
         if isinstance(jobs, Sequence):
             if not jobs:
                 raise ValueError("cannot simulate an empty job list")
@@ -144,6 +159,7 @@ class SimulationEngine:
             scheduler_name=scheduler.name, workload_name=workload_name
         )
         self._time = 0.0
+        self._iterations = 0
         self._active_jobs: Dict[str, Job] = {}
         self._seen_job_ids: Set[str] = set()
         self._last_arrival_time = 0.0
@@ -173,31 +189,48 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationMetrics:
         """Execute the workload to completion and return the metrics."""
-        iterations = 0
-        while self._next_arrival is not None or self._active_jobs:
-            iterations += 1
-            if iterations > self.config.max_iterations:
-                raise RuntimeError("simulation exceeded max_iterations; likely a livelock")
-            if self._time > self.config.max_simulated_time:
-                raise RuntimeError("simulation exceeded max_simulated_time")
+        while self.step():
+            pass
+        return self.finalize()
 
-            self._admit_arrivals(self._time)
-            self._dispatch()
+    def step(self) -> bool:
+        """Advance the simulation through one scheduling point.
 
-            next_time = self._next_event_time()
-            if next_time is None:
-                self._check_for_deadlock()
-                break
-            self._time = max(self._time, next_time)
-            self.cluster.advance_to(self._time)
-            self._process_completions(self._time)
-            if (
-                self.autoscaler is not None
-                and self._time + self.config.eps >= self.autoscaler.next_check_time
-            ):
-                self._run_autoscaler()
+        Returns ``False`` once no further progress is possible — the
+        workload drained, or nothing can ever happen again (which raises
+        for a real deadlock).  Callers stepping manually should invoke
+        :meth:`finalize` afterwards; :meth:`run` does both.
+        """
+        if self._next_arrival is None and not self._active_jobs:
+            return False
+        self._iterations += 1
+        if self._iterations > self.config.max_iterations:
+            raise RuntimeError("simulation exceeded max_iterations; likely a livelock")
+        if self._time > self.config.max_simulated_time:
+            raise RuntimeError("simulation exceeded max_simulated_time")
 
-        self.metrics.num_events = iterations
+        self._admit_arrivals(self._time)
+        if self.async_backend is not None:
+            self._apply_due_decisions(self._time)
+        self._dispatch()
+
+        next_time = self._next_event_time()
+        if next_time is None:
+            self._check_for_deadlock()
+            return False
+        self._time = max(self._time, next_time)
+        self.cluster.advance_to(self._time)
+        self._process_completions(self._time)
+        if (
+            self.autoscaler is not None
+            and self._time + self.config.eps >= self.autoscaler.next_check_time
+        ):
+            self._run_autoscaler()
+        return True
+
+    def finalize(self) -> SimulationMetrics:
+        """Fill the run-level metrics (event count, makespan, utilisation)."""
+        self.metrics.num_events = self._iterations
         self.metrics.makespan = self._time
         self.metrics.utilization = self.cluster.utilization(max(self._time, _EPS))
         self.metrics.pool_utilization = self.cluster.pool_utilization(max(self._time, _EPS))
@@ -281,15 +314,33 @@ class SimulationEngine:
             and self.cluster.free_llm_slots() == 0
         ):
             return
+        backend = self.async_backend
+        if backend is not None and not backend.can_request():
+            return  # a decision is already in flight (pipelining depth hit)
         context = self._build_context()
         if not context.schedulable_tasks():
             return
 
+        if backend is None:
+            decision = self._timed_schedule(context)
+        else:
+            decision = backend.request(
+                self._timed_schedule, context, self._time, self.config.eps
+            )
+            if decision is None:
+                return  # in flight; applied once its DECISION_READY event fires
+        self._apply_decision(decision)
+
+    def _timed_schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        """One scheduler invocation, wall-clock timed for Table I."""
         started = wallclock.perf_counter()
         decision = self.scheduler.schedule(context)
         overhead = wallclock.perf_counter() - started
         self.metrics.record_scheduler_invocation(overhead)
+        return decision
 
+    def _apply_decision(self, decision: SchedulingDecision) -> None:
+        """Apply a decision whose tasks are *live* objects (synchronous path)."""
         if decision.preemptions:
             for directive in decision.preemptions:
                 self._apply_preemption(directive)
@@ -302,6 +353,97 @@ class SimulationEngine:
             if self.cluster.free_llm_slots() == 0:
                 break
             self._place_task(task, TaskType.LLM)
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous decisions (stale snapshots, applied at t + latency)
+    # ------------------------------------------------------------------ #
+    def _apply_due_decisions(self, now: float) -> None:
+        """Apply every in-flight decision whose latency window ended."""
+        for inflight in self.async_backend.pop_due(now, self.config.eps):
+            self.metrics.record_async_decision(inflight.apply_at - inflight.requested_at)
+            self.metrics.record_decision_applied(now - inflight.requested_at)
+            self._apply_async_decision(inflight)
+
+    def _apply_async_decision(self, inflight) -> None:
+        """Apply a decision computed from a snapshot against the live cluster.
+
+        The decision's tasks are snapshot *copies*; each is mapped back onto
+        its live counterpart by (job, stage, index) key.  Anything the live
+        cluster no longer agrees with is dropped and metered: preemptions of
+        tasks that stopped running are no-ops, placements of tasks that are
+        no longer pending are stale, and placements that lost their slot to
+        a faster actor are conflicts (the task stays pending and is simply
+        reconsidered at the next decision — requeue for free).  Metering is
+        scoped to the entries the snapshot promised capacity for
+        (``snapshot_free_*``, grown by every preemption this decision lands):
+        preference lists may exceed capacity by design, and the synchronous
+        engine drops the overflow silently too.
+        """
+        decision = inflight.decision
+        budget = {
+            TaskType.REGULAR: inflight.snapshot_free_regular,
+            TaskType.LLM: inflight.snapshot_free_llm,
+        }
+        # Duplicate preference entries *within one decision* are by-design
+        # (the sync path skips them silently); only repeats across decisions
+        # signal genuine snapshot staleness, so dedupe before metering.
+        seen: Set[str] = set()
+        for directive in decision.preemptions:
+            live = self._resolve_live_task(directive.task)
+            if live is None or live.state is not TaskState.RUNNING:
+                self.metrics.record_stale_preemption()
+                continue
+            self._apply_preemption(
+                PreemptionDirective(task=live, checkpoint=directive.checkpoint)
+            )
+            if live.state is TaskState.PENDING:  # the engine accepted it
+                budget[live.task_type] += 1
+        for expected_type, tasks in (
+            (TaskType.REGULAR, decision.regular_tasks),
+            (TaskType.LLM, decision.llm_tasks),
+        ):
+            for task in tasks:
+                key = task.key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                in_budget = budget[expected_type] > 0
+                budget[expected_type] -= 1
+                live = self._resolve_live_task(task)
+                if live is None or live.state is not TaskState.PENDING:
+                    if in_budget:
+                        self.metrics.record_stale_placement()
+                    continue
+                job = self._active_jobs[live.job_id]
+                stage = job.stage(live.stage_id)
+                if (
+                    stage.state not in (StageState.READY, StageState.RUNNING)
+                    or not stage.visible
+                ):
+                    if in_budget:
+                        self.metrics.record_stale_placement()
+                    continue
+                free = (
+                    self.cluster.free_regular_slots()
+                    if expected_type is TaskType.REGULAR
+                    else self.cluster.free_llm_slots()
+                )
+                if (free == 0 or not self._place_task(live, expected_type)) and in_budget:
+                    self.metrics.record_placement_conflict()
+
+    def _resolve_live_task(self, task: Task) -> Optional[Task]:
+        """Live counterpart of a snapshot task (None if its job is gone)."""
+        job = self._active_jobs.get(task.job_id)
+        if job is None:
+            return None
+        try:
+            stage = job.stage(task.stage_id)
+        except KeyError:
+            return None
+        for live in stage.tasks:
+            if live.index == task.index:
+                return live
+        return None
 
     def _apply_preemption(self, directive: PreemptionDirective) -> None:
         """Checkpoint a running task back to PENDING (skipping stale directives)."""
@@ -334,23 +476,24 @@ class SimulationEngine:
         self.metrics.record_preemption(wasted)
         job.invalidate_schedulable_cache()
 
-    def _place_task(self, task: Task, expected_type: TaskType) -> None:
+    def _place_task(self, task: Task, expected_type: TaskType) -> bool:
+        """Place one task via the placement policy; True iff it started."""
         if task.task_type is not expected_type:
             raise RuntimeError(
                 f"scheduler put {task.key()} in the wrong preference list"
             )
         if task.state.name != "PENDING":
-            return  # Already placed by an earlier (duplicate) preference entry.
+            return False  # Already placed by an earlier (duplicate) preference entry.
         job = self._active_jobs.get(task.job_id)
         if job is None:
-            return
+            return False
         stage = job.stage(task.stage_id)
         if stage.state not in (StageState.READY, StageState.RUNNING) or not stage.visible:
-            return  # Not actually schedulable; ignore the preference entry.
+            return False  # Not actually schedulable; ignore the preference entry.
         pool = self.placement.select_pool(self.cluster, task)
         placed = pool.assign(task, self._time) if pool is not None else None
         if placed is None:
-            return
+            return False
         if expected_type is TaskType.REGULAR:
             index = self.cluster.regular_index(placed)
             finish = self.cluster.regular_executors[index].completion_time()
@@ -359,6 +502,7 @@ class SimulationEngine:
             self._dirty_llm.add(self.cluster.llm_index(placed))
         stage.mark_running()
         job.invalidate_schedulable_cache()
+        return True
 
     # ------------------------------------------------------------------ #
     # Time advance and completions
@@ -412,6 +556,12 @@ class SimulationEngine:
             candidates.append(llm)
         if self._next_arrival is not None:
             candidates.append(self._next_arrival.arrival_time)
+        # Decisions in flight are pending progress: their DECISION_READY
+        # times drive the clock even when nothing else is happening.
+        if self.async_backend is not None:
+            apply_time = self.async_backend.next_apply_time()
+            if apply_time is not None:
+                candidates.append(apply_time)
         # Autoscale checks are an event source too — but only while other
         # activity (or placeable backlog) exists, so a truly deadlocked run
         # still falls through to the deadlock check instead of idling on

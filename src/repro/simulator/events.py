@@ -19,6 +19,10 @@ __all__ = ["EventType", "SimulationEvent", "EventQueue"]
 class EventType(enum.Enum):
     JOB_ARRIVAL = "job_arrival"
     TASK_FINISH = "task_finish"
+    #: An asynchronous scheduling decision finishing its latency window and
+    #: becoming ready to apply against the live cluster (payload: the
+    #: in-flight decision record).
+    DECISION_READY = "decision_ready"
 
 
 @dataclass(frozen=True, order=True)

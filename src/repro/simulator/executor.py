@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.dag.task import Task, TaskType
 from repro.simulator.latency import DecodingLatencyProfile

@@ -41,6 +41,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 from repro.dag.job import Job
 from repro.dag.task import TaskState, TaskType
 from repro.schedulers.base import PreemptionDirective, Scheduler
+from repro.simulator.async_sched import AsyncSchedulerBackend
 from repro.simulator.autoscaler import ThresholdAutoscaler
 from repro.simulator.cluster import Cluster
 from repro.simulator.engine import SimulationConfig, SimulationEngine, validate_arrival_order
@@ -51,6 +52,7 @@ __all__ = [
     "JobRouter",
     "HashRouter",
     "LeastLoadedRouter",
+    "StaleLeastLoadedRouter",
     "TypeAffinityRouter",
     "available_job_routers",
     "create_job_router",
@@ -86,6 +88,18 @@ class JobRouter(abc.ABC):
     @abc.abstractmethod
     def select_shard(self, shards: Sequence["FederatedShard"], job: Job) -> int:
         """Index of the shard ``job`` should be admitted to."""
+
+    def observe(self, shards: Sequence["FederatedShard"], now: float) -> None:
+        """Periodic fleet-state observation hook (default: no-op).
+
+        The federated engine calls this at every routing opportunity;
+        routers that keep *cached* views of shard state (e.g.
+        :class:`StaleLeastLoadedRouter`) refresh them here at their own
+        cadence, so ``select_shard`` can read a deliberately stale view.
+        """
+
+    def reset(self) -> None:
+        """Drop any cached view so the router can drive a fresh run."""
 
     @staticmethod
     def _capable(shards: Sequence["FederatedShard"], job: Job) -> List[int]:
@@ -129,6 +143,59 @@ class LeastLoadedRouter(JobRouter):
         return min(self._capable(shards, job), key=lambda i: (shards[i].load(), i))
 
 
+class StaleLeastLoadedRouter(JobRouter):
+    """Least-loaded routing against a *periodically refreshed* load view.
+
+    A real routing tier does not read shard state synchronously — it
+    consumes load reports published every ``view_refresh_interval``
+    seconds.  This router models that: :meth:`observe` (called by the
+    federated engine at every routing opportunity) re-reads the true shard
+    loads only when the last refresh is at least the interval old, and
+    :meth:`select_shard` routes against the cached snapshot.  With
+    ``view_refresh_interval=0`` every observation refreshes and the router
+    degenerates to :class:`LeastLoadedRouter`; growing the interval lets
+    experiments quantify how much load-aware routing's advantage survives
+    staleness (arrival bursts within one window all pile onto the shard
+    that *looked* coldest when the window opened).
+    """
+
+    name = "stale_least_loaded"
+
+    def __init__(self, view_refresh_interval: float = 30.0) -> None:
+        if view_refresh_interval < 0:
+            raise ValueError("view_refresh_interval must be >= 0")
+        self.view_refresh_interval = float(view_refresh_interval)
+        self._loads: Optional[List[float]] = None
+        self._last_refresh: Optional[float] = None
+
+    @property
+    def last_refresh_time(self) -> Optional[float]:
+        """When the cached view was last refreshed (None before the first)."""
+        return self._last_refresh
+
+    def reset(self) -> None:
+        self._loads = None
+        self._last_refresh = None
+
+    def observe(self, shards: Sequence["FederatedShard"], now: float) -> None:
+        if (
+            self._last_refresh is not None
+            and now - self._last_refresh < self.view_refresh_interval - _EPS
+        ):
+            return
+        self._loads = [shard.load() for shard in shards]
+        self._last_refresh = now
+
+    def select_shard(self, shards: Sequence["FederatedShard"], job: Job) -> int:
+        capable = self._capable(shards, job)
+        loads = self._loads
+        if loads is None or len(loads) != len(shards):
+            # No published view yet (router used outside the engine's
+            # observe loop): fall back to the live load, refreshing nothing.
+            return min(capable, key=lambda i: (shards[i].load(), i))
+        return min(capable, key=lambda i: (loads[i], i))
+
+
 class TypeAffinityRouter(JobRouter):
     """Route jobs toward shards with free capacity of their dominant type.
 
@@ -156,9 +223,10 @@ class TypeAffinityRouter(JobRouter):
         return self._fallback.select_shard(shards, job)
 
 
-_ROUTERS: Dict[str, Callable[[], JobRouter]] = {
+_ROUTERS: Dict[str, Callable[..., JobRouter]] = {
     "hash": HashRouter,
     "least_loaded": LeastLoadedRouter,
+    "stale_least_loaded": StaleLeastLoadedRouter,
     "type_affinity": TypeAffinityRouter,
 }
 
@@ -168,14 +236,19 @@ def available_job_routers() -> list:
     return sorted(_ROUTERS)
 
 
-def create_job_router(name: str) -> JobRouter:
-    """Instantiate a job router by name."""
+def create_job_router(name: str, **kwargs) -> JobRouter:
+    """Instantiate a job router by name.
+
+    ``kwargs`` pass through to the router's constructor (e.g.
+    ``create_job_router("stale_least_loaded", view_refresh_interval=60.0)``).
+    """
     try:
-        return _ROUTERS[name.lower()]()
+        factory = _ROUTERS[name.lower()]
     except KeyError:
         raise ValueError(
             f"unknown job router {name!r}; available: {available_job_routers()}"
         ) from None
+    return factory(**kwargs)
 
 
 # --------------------------------------------------------------------------- #
@@ -495,10 +568,12 @@ class FederatedSimulationEngine:
         placement_factory: Optional[Callable[[], PlacementPolicy]] = None,
         autoscaler_factory: Optional[Callable[[], ThresholdAutoscaler]] = None,
         migration: Optional[MigrationConfig] = None,
+        async_backend_factory: Optional[Callable[[], AsyncSchedulerBackend]] = None,
     ) -> None:
         self.federation = federation
         self.config = config or SimulationConfig()
         self.migration = migration
+        federation.router.reset()  # routers reused across runs drop stale views
         shards = federation.shards
         if callable(schedulers):
             instances = [schedulers() for _ in shards]
@@ -524,6 +599,9 @@ class FederatedSimulationEngine:
                 workload_name=workload_name,
                 placement=placement_factory() if placement_factory is not None else None,
                 autoscaler=autoscaler_factory() if autoscaler_factory is not None else None,
+                async_backend=(
+                    async_backend_factory() if async_backend_factory is not None else None
+                ),
             )
             engine.shard_name = shard.name
             engine.shard_count = len(shards)
@@ -538,6 +616,7 @@ class FederatedSimulationEngine:
         else:
             self._global_arrivals = iter(jobs)
         self._time = 0.0
+        self._iterations = 0
         self._seen_job_ids: Set[str] = set()
         self._last_arrival_time = 0.0
         self._next_global: Optional[Job] = None
@@ -560,61 +639,78 @@ class FederatedSimulationEngine:
 
     def run(self) -> FederationMetrics:
         """Execute the workload fleet-wide and return aggregated metrics."""
+        while self.step():
+            pass
+        return self.finalize()
+
+    def step(self) -> bool:
+        """Advance the fleet through one shared-clock scheduling point.
+
+        Returns ``False`` once no shard can make progress (deadlocks
+        raise).  Mirrors :meth:`SimulationEngine.step`; :meth:`run` steps
+        to completion and finalizes.
+        """
         eps = self.config.eps
         shards = self.federation.shards
-        iterations = 0
-        while self._next_global is not None or any(
+        if self._next_global is None and not any(
             s.engine._next_arrival is not None or s.engine._active_jobs for s in shards
         ):
-            iterations += 1
-            if iterations > self.config.max_iterations:
-                raise RuntimeError("federated simulation exceeded max_iterations; likely a livelock")
-            if self._time > self.config.max_simulated_time:
-                raise RuntimeError("federated simulation exceeded max_simulated_time")
+            return False
+        self._iterations += 1
+        if self._iterations > self.config.max_iterations:
+            raise RuntimeError("federated simulation exceeded max_iterations; likely a livelock")
+        if self._time > self.config.max_simulated_time:
+            raise RuntimeError("federated simulation exceeded max_simulated_time")
 
-            # Scheduling pass on every shard whose state changed.
-            for index in sorted(self._due):
-                shard = shards[index]
-                engine = shard.engine
-                engine._time = self._time
-                engine.cluster.advance_to(self._time)
-                engine._admit_arrivals(self._time)
-                engine._dispatch()
-                shard.next_event = self._shard_next_event(shard)
-                shard.num_events += 1
-            self._due.clear()
+        # Scheduling pass on every shard whose state changed.
+        for index in sorted(self._due):
+            shard = shards[index]
+            engine = shard.engine
+            engine._time = self._time
+            engine.cluster.advance_to(self._time)
+            engine._admit_arrivals(self._time)
+            if engine.async_backend is not None:
+                engine._apply_due_decisions(self._time)
+            engine._dispatch()
+            shard.next_event = self._shard_next_event(shard)
+            shard.num_events += 1
+        self._due.clear()
 
-            next_time = self._next_fleet_event()
-            if next_time is None:
-                self._check_for_deadlock()
-                break
-            self._time = max(self._time, next_time)
+        next_time = self._next_fleet_event()
+        if next_time is None:
+            self._check_for_deadlock()
+            return False
+        self._time = max(self._time, next_time)
 
-            # Route global arrivals due now; owning shards become due.
-            self._route_due(self._time)
+        # Route global arrivals due now; owning shards become due.
+        self._route_due(self._time)
 
-            # Completions (and autoscale checks) on shards whose clock hit.
-            for shard in shards:
-                if shard.next_event is None or shard.next_event > self._time + eps:
-                    continue
-                engine = shard.engine
-                engine._time = self._time
-                engine.cluster.advance_to(self._time)
-                engine._process_completions(self._time)
-                if (
-                    engine.autoscaler is not None
-                    and self._time + eps >= engine.autoscaler.next_check_time
-                ):
-                    engine._run_autoscaler()
-                self._due.add(shard.index)
-
+        # Completions (and autoscale checks) on shards whose clock hit.
+        for shard in shards:
+            if shard.next_event is None or shard.next_event > self._time + eps:
+                continue
+            engine = shard.engine
+            engine._time = self._time
+            engine.cluster.advance_to(self._time)
+            engine._process_completions(self._time)
             if (
-                self._next_migration_check is not None
-                and self._time + eps >= self._next_migration_check
+                engine.autoscaler is not None
+                and self._time + eps >= engine.autoscaler.next_check_time
             ):
-                self._run_migration(self._time)
+                engine._run_autoscaler()
+            self._due.add(shard.index)
 
-        self.metrics.num_fleet_iterations = iterations
+        if (
+            self._next_migration_check is not None
+            and self._time + eps >= self._next_migration_check
+        ):
+            self._run_migration(self._time)
+        return True
+
+    def finalize(self) -> FederationMetrics:
+        """Fill the fleet-level metrics (iterations, makespan, utilisation)."""
+        shards = self.federation.shards
+        self.metrics.num_fleet_iterations = self._iterations
         self.metrics.makespan = self._time
         # Utilization is normalized to the *fleet* horizon for every shard:
         # a shard that drained early and froze its own clock would otherwise
@@ -651,6 +747,10 @@ class FederatedSimulationEngine:
     def _route_due(self, now: float) -> None:
         eps = self.config.eps
         shards = self.federation.shards
+        # Routers with cached views refresh here at their own cadence; the
+        # hook runs even when nothing is due, modeling a load reporter that
+        # publishes on the fleet's event clock rather than on arrivals.
+        self.federation.router.observe(shards, now)
         while self._next_global is not None and self._next_global.arrival_time <= now + eps:
             job = self._next_global
             self._pull_global()

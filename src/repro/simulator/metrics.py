@@ -40,6 +40,21 @@ class SimulationMetrics:
     num_migrations_out: int = 0
     num_migrations_in: int = 0
     executor_counts: Dict[str, int] = field(default_factory=dict)
+    #: Asynchronous scheduling accounting (runs with an AsyncSchedulerBackend
+    #: only).  ``decision_latency`` is the charged latency of every in-flight
+    #: decision; ``decision_staleness`` the snapshot age when each decision
+    #: was applied (>= its latency when the engine applies late).  Conflicts
+    #: are per preference-list entry: ``stale placements`` targeted tasks no
+    #: longer pending at apply time (placed by an earlier decision, finished,
+    #: or job gone), ``placement conflicts`` were still placeable but found
+    #: their slot taken, and ``stale preemptions`` named tasks that were no
+    #: longer running.
+    num_async_decisions: int = 0
+    decision_latency: OnlineStats = field(default_factory=OnlineStats)
+    decision_staleness: OnlineStats = field(default_factory=OnlineStats)
+    num_stale_placements: int = 0
+    num_placement_conflicts: int = 0
+    num_stale_preemptions: int = 0
 
     # ------------------------------------------------------------------ #
     def record_job_completion(self, job_id: str, application: str, jct: float) -> None:
@@ -66,6 +81,24 @@ class SimulationMetrics:
 
     def record_migration_in(self) -> None:
         self.num_migrations_in += 1
+
+    def record_async_decision(self, latency_seconds: float) -> None:
+        if latency_seconds < 0:
+            raise ValueError("decision latency must be >= 0")
+        self.num_async_decisions += 1
+        self.decision_latency.add(float(latency_seconds))
+
+    def record_decision_applied(self, staleness_seconds: float) -> None:
+        self.decision_staleness.add(max(0.0, staleness_seconds))
+
+    def record_stale_placement(self) -> None:
+        self.num_stale_placements += 1
+
+    def record_placement_conflict(self) -> None:
+        self.num_placement_conflicts += 1
+
+    def record_stale_preemption(self) -> None:
+        self.num_stale_preemptions += 1
 
     # ------------------------------------------------------------------ #
     @property
@@ -109,4 +142,14 @@ class SimulationMetrics:
             "num_preemptions": self.num_preemptions,
             "wasted_work": self.wasted_work,
             "num_scale_events": len(self.scale_events),
+            "num_async_decisions": self.num_async_decisions,
+            "avg_decision_latency": (
+                self.decision_latency.mean if self.decision_latency.count else 0.0
+            ),
+            "avg_decision_staleness": (
+                self.decision_staleness.mean if self.decision_staleness.count else 0.0
+            ),
+            "num_stale_placements": self.num_stale_placements,
+            "num_placement_conflicts": self.num_placement_conflicts,
+            "num_stale_preemptions": self.num_stale_preemptions,
         }

@@ -1,0 +1,61 @@
+"""The common engine contract shared by single-cluster and federated runs.
+
+:class:`SimulationEngine` and :class:`FederatedSimulationEngine` grew the
+same driving surface independently — ``run()`` to completion, ``step()``
+for one scheduling point, ``finalize()`` for the run-level metrics, and a
+``current_time`` clock — but nothing enforced it, so harness code
+duck-typed.  :class:`SimulationEngineProtocol` pins the contract down as a
+:func:`~typing.runtime_checkable` :class:`~typing.Protocol`;
+:func:`ensure_engine_protocol` is the runner's guard that whatever engine
+it built actually satisfies it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["SimulationEngineProtocol", "ensure_engine_protocol"]
+
+
+@runtime_checkable
+class SimulationEngineProtocol(Protocol):
+    """What every simulation engine must expose to the experiment harness.
+
+    ``run()`` drives the workload to completion and returns the run's
+    metrics object (:class:`~repro.simulator.metrics.SimulationMetrics` or
+    :class:`~repro.simulator.federation.FederationMetrics`); ``step()``
+    advances through exactly one scheduling point and returns ``False``
+    once no further progress is possible; ``finalize()`` fills the
+    run-level metrics after manual stepping.  ``run()`` is equivalent to
+    stepping until ``False`` and finalizing.
+    """
+
+    @property
+    def current_time(self) -> float: ...
+
+    def step(self) -> bool: ...
+
+    def finalize(self) -> Any: ...
+
+    def run(self) -> Any: ...
+
+
+def ensure_engine_protocol(engine: Any) -> Any:
+    """Assert ``engine`` satisfies the protocol; returns it for chaining.
+
+    ``runtime_checkable`` protocols only verify member *presence*, which is
+    exactly the guard the harness needs in place of duck-typing: a missing
+    ``step``/``run``/``finalize`` fails loudly at construction time instead
+    of deep inside a sweep worker.
+    """
+    if not isinstance(engine, SimulationEngineProtocol):
+        missing = [
+            name
+            for name in ("current_time", "step", "finalize", "run")
+            if not hasattr(engine, name)
+        ]
+        raise TypeError(
+            f"{type(engine).__name__} does not satisfy SimulationEngineProtocol "
+            f"(missing: {missing})"
+        )
+    return engine

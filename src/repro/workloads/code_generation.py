@@ -11,7 +11,7 @@ and unexecuted stages take duration 0.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

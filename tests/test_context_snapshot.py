@@ -1,0 +1,131 @@
+"""Property-based tests: a context snapshot is immune to live mutations.
+
+The asynchronous backend hands schedulers a deep snapshot of the
+:class:`~repro.schedulers.base.SchedulingContext`; whatever the live
+simulation does during the decision's latency window — placing tasks,
+finishing them, preempting, admitting arrivals — the pending decision's
+view must not change.  Hypothesis drives randomized workloads through a
+randomized number of engine steps between snapshot and check.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.engine import SimulationEngine
+from repro.workloads.mixtures import (
+    WorkloadSpec,
+    WorkloadType,
+    default_applications,
+    generate_workload,
+)
+
+APPLICATIONS = default_applications()
+CLUSTER = ClusterConfig(num_regular_executors=2, num_llm_executors=1, max_batch_size=4)
+
+
+def build_engine(seed, num_jobs, arrival_rate):
+    spec = WorkloadSpec(
+        workload_type=WorkloadType.MIXED,
+        num_jobs=num_jobs,
+        arrival_rate=arrival_rate,
+        seed=seed,
+    )
+    jobs = generate_workload(spec, applications=APPLICATIONS)
+    return SimulationEngine(jobs, FcfsScheduler(), cluster=Cluster(CLUSTER))
+
+
+def context_digest(context):
+    """Everything a scheduler can observe, flattened to plain values."""
+    digest = {
+        "time": context.time,
+        "free_regular": context.free_regular_slots,
+        "free_llm": context.free_llm_slots,
+        "batch_sizes": list(context.llm_batch_sizes),
+        "jobs": [],
+    }
+    for job in context.jobs:
+        stages = {}
+        for stage_id, stage in sorted(job.stages.items()):
+            stages[stage_id] = {
+                "state": stage.state.name,
+                "visible": stage.visible,
+                "tasks": [
+                    (t.key(), t.state.name, t.progress, t.remaining_work, t.executor_id)
+                    for t in stage.tasks
+                ],
+            }
+        digest["jobs"].append(
+            {
+                "job_id": job.job_id,
+                "finished": job.is_finished,
+                "schedulable": sorted(t.key() for t in job.schedulable_tasks()),
+                "stages": stages,
+            }
+        )
+    return digest
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_jobs=st.integers(min_value=2, max_value=8),
+    arrival_rate=st.floats(min_value=0.5, max_value=4.0),
+    warmup_steps=st.integers(min_value=1, max_value=12),
+    mutation_steps=st.integers(min_value=1, max_value=40),
+)
+def test_snapshot_survives_live_mutations(
+    seed, num_jobs, arrival_rate, warmup_steps, mutation_steps
+):
+    engine = build_engine(seed, num_jobs, arrival_rate)
+    for _ in range(warmup_steps):
+        if not engine.step():
+            break
+    snapshot = engine._build_context().snapshot()
+    assert snapshot.is_snapshot
+    assert snapshot.snapshot_time == engine.current_time
+    before = context_digest(snapshot)
+
+    # Mutate the live world as hard as the simulation allows: every step
+    # places tasks, accrues progress, finishes stages, admits arrivals.
+    for _ in range(mutation_steps):
+        if not engine.step():
+            break
+
+    assert context_digest(snapshot) == before
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_jobs=st.integers(min_value=2, max_value=6),
+)
+def test_mutating_snapshot_does_not_leak_into_live(seed, num_jobs):
+    engine = build_engine(seed, num_jobs, arrival_rate=2.0)
+    while not engine._active_jobs:
+        if not engine.step():
+            return  # degenerate draw: every job completed on arrival
+    live_before = context_digest(engine._build_context())
+    snapshot = engine._build_context().snapshot()
+
+    # Vandalize the snapshot: flip task state, burn progress, drop stages.
+    for job in snapshot.jobs:
+        for stage in job.stages.values():
+            for task in stage.tasks:
+                task.progress = task.work
+                task.executor_id = "bogus"
+        job.finish_time = -1.0
+
+    assert context_digest(engine._build_context()) == live_before
+
+
+def test_snapshot_of_snapshot_is_independent():
+    engine = build_engine(seed=1, num_jobs=3, arrival_rate=2.0)
+    while not engine._active_jobs:
+        assert engine.step()
+    first = engine._build_context().snapshot()
+    second = first.snapshot()
+    for job in second.jobs:
+        job.finish_time = -2.0
+    assert all(job.finish_time != -2.0 for job in first.jobs)

@@ -1,0 +1,92 @@
+"""Both engines must satisfy the shared SimulationEngineProtocol contract."""
+
+import pytest
+
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.federation import FederatedCluster, FederatedSimulationEngine
+from repro.simulator.protocol import SimulationEngineProtocol, ensure_engine_protocol
+from repro.workloads.mixtures import (
+    WorkloadSpec,
+    WorkloadType,
+    default_applications,
+    generate_workload,
+)
+
+SPEC = WorkloadSpec(workload_type=WorkloadType.MIXED, num_jobs=12, arrival_rate=1.5, seed=3)
+CLUSTER = ClusterConfig(num_regular_executors=3, num_llm_executors=2, max_batch_size=4)
+
+
+@pytest.fixture(scope="module")
+def applications():
+    return default_applications()
+
+
+def fresh_jobs(applications):
+    # Jobs are mutable runtime objects; every engine needs its own draw.
+    return generate_workload(SPEC, applications=applications)
+
+
+def single_engine(applications):
+    return SimulationEngine(
+        fresh_jobs(applications), FcfsScheduler(), cluster=Cluster(CLUSTER)
+    )
+
+
+def federated_engine(applications):
+    fleet = FederatedCluster([("s0", Cluster(CLUSTER)), ("s1", Cluster(CLUSTER))])
+    return FederatedSimulationEngine(fresh_jobs(applications), FcfsScheduler, fleet)
+
+
+class TestProtocolConformance:
+    def test_single_engine_satisfies_protocol(self, applications):
+        engine = single_engine(applications)
+        assert isinstance(engine, SimulationEngineProtocol)
+        assert ensure_engine_protocol(engine) is engine
+
+    def test_federated_engine_satisfies_protocol(self, applications):
+        engine = federated_engine(applications)
+        assert isinstance(engine, SimulationEngineProtocol)
+        assert ensure_engine_protocol(engine) is engine
+
+    def test_non_engine_rejected(self):
+        class NotAnEngine:
+            def run(self):
+                return None
+
+        with pytest.raises(TypeError, match="SimulationEngineProtocol"):
+            ensure_engine_protocol(NotAnEngine())
+
+
+class TestStepSemantics:
+    """step()-until-False + finalize() must equal run() on both engines."""
+
+    @pytest.mark.parametrize("factory", [single_engine, federated_engine])
+    def test_manual_stepping_matches_run(self, factory, applications):
+        ran = factory(applications).run()
+        stepped_engine = factory(applications)
+        steps = 0
+        while stepped_engine.step():
+            steps += 1
+        stepped = stepped_engine.finalize()
+        assert steps > 0
+        assert stepped.job_completion_times == ran.job_completion_times
+        assert stepped.makespan == ran.makespan
+
+    @pytest.mark.parametrize("factory", [single_engine, federated_engine])
+    def test_step_false_after_drain(self, factory, applications):
+        engine = factory(applications)
+        while engine.step():
+            pass
+        # Once drained, further steps are no-ops returning False.
+        assert engine.step() is False
+        assert engine.step() is False
+
+    @pytest.mark.parametrize("factory", [single_engine, federated_engine])
+    def test_clock_monotone_across_steps(self, factory, applications):
+        engine = factory(applications)
+        last = engine.current_time
+        while engine.step():
+            assert engine.current_time >= last
+            last = engine.current_time

@@ -16,7 +16,9 @@ from repro.experiments.runner import (
     run_single_open_loop,
     size_cluster_for_workload,
     sweep_arrival_rates,
+    sweep_decision_latency,
 )
+from repro.simulator.async_sched import AsyncConfig
 from repro.simulator.metrics import SimulationMetrics
 from repro.workloads.arrivals import OpenLoopSpec, PoissonProcess
 from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
@@ -163,6 +165,45 @@ class TestParallelSweeps:
             sweep_arrival_rates([], ["fcfs"])
         with pytest.raises(ValueError):
             sweep_arrival_rates([1.0], [])
+
+    def test_sweep_decision_latency_groups_by_latency(self):
+        base = WorkloadSpec(WorkloadType.MIXED, num_jobs=10, arrival_rate=1.0, seed=6)
+        results = sweep_decision_latency(
+            [0.0, 2.0], ["fcfs", "sjf"], base_spec=base, settings=TINY, processes=2
+        )
+        assert set(results) == {0.0, 2.0}
+        for comparison in results.values():
+            assert set(comparison.metrics) == {"fcfs", "sjf"}
+            assert all(
+                len(m.job_completion_times) == 10 for m in comparison.metrics.values()
+            )
+        # Latency 0 is the synchronous engine bit for bit.
+        sync = run_single("fcfs", base, settings=TINY)
+        assert (
+            results[0.0].metrics["fcfs"].job_completion_times
+            == sync.job_completion_times
+        )
+        # Charged latency must not help.
+        assert (
+            results[2.0].metrics["fcfs"].average_jct
+            >= results[0.0].metrics["fcfs"].average_jct
+        )
+
+    def test_sweep_decision_latency_validates_inputs(self):
+        with pytest.raises(ValueError):
+            sweep_decision_latency([], ["fcfs"])
+        with pytest.raises(ValueError):
+            sweep_decision_latency([1.0], [])
+        with pytest.raises(ValueError):
+            sweep_decision_latency([-1.0], ["fcfs"])
+
+    def test_run_single_async_config_plumbed(self):
+        spec = WorkloadSpec(WorkloadType.MIXED, num_jobs=10, arrival_rate=1.5, seed=6)
+        metrics = run_single(
+            "fcfs", spec, settings=TINY, async_config=AsyncConfig(latency=1.0)
+        )
+        assert metrics.num_async_decisions > 0
+        assert len(metrics.job_completion_times) == 10
 
 
 class TestPlacementAndAutoscaling:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.dag.job import Job
 from repro.dag.stage import Stage, StageSpec, StageType
-from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingDecision
+from repro.schedulers.base import Scheduler, SchedulingDecision
 from repro.schedulers.fcfs import FcfsScheduler
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.engine import SimulationConfig, SimulationEngine

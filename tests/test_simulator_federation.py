@@ -126,7 +126,12 @@ class TestSingleShardIdentity:
 # --------------------------------------------------------------------------- #
 class TestRouters:
     def test_factory_and_names(self):
-        assert available_job_routers() == ["hash", "least_loaded", "type_affinity"]
+        assert available_job_routers() == [
+            "hash",
+            "least_loaded",
+            "stale_least_loaded",
+            "type_affinity",
+        ]
         for name in available_job_routers():
             assert create_job_router(name).name == name
         with pytest.raises(ValueError):

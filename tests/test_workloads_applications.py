@@ -9,7 +9,7 @@ stage counts, and strong inter-stage duration correlations.
 import numpy as np
 import pytest
 
-from repro.dag.stage import StageState, StageType
+from repro.dag.stage import StageType
 from repro.utils.rng import make_rng
 from repro.utils.stats import pearson_correlation
 from repro.workloads import (
