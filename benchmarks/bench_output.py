@@ -5,16 +5,22 @@ additionally persists the numbers so performance is tracked across PRs.
 Each benchmark records a named section; sections accumulate in one JSON
 file (default ``BENCH_2.json`` in the repo root, override with the
 ``BENCH_OUTPUT`` environment variable).  CI uploads the file as a workflow
-artifact.
+artifact and the regression gate (``benchmarks/check_regression.py``)
+compares smoke-scale regenerations against ``benchmarks/baselines/``.
+
+Benchmarks that run through :func:`repro.api.run` should persist
+:class:`repro.api.Result` objects via :func:`record_results` instead of
+hand-picking metric fields: ``Result.to_dict()`` is the one schema the
+CLI ``--output``, the BENCH files and the regression gate all consume.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict
+from typing import Dict, Mapping
 
-__all__ = ["record_bench_section", "bench_output_path"]
+__all__ = ["record_bench_section", "record_results", "bench_output_path"]
 
 _DEFAULT_FILENAME = "BENCH_2.json"
 
@@ -51,3 +57,29 @@ def record_bench_section(section: str, payload: Dict[str, object], filename: str
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def record_results(
+    section: str,
+    results: Mapping[str, "object"],
+    filename: str = None,
+    extra: Dict[str, object] = None,
+    include_spec: bool = False,
+) -> str:
+    """Persist a mapping of labelled :class:`repro.api.Result` objects.
+
+    Each result is serialized through ``Result.to_dict()`` so the BENCH
+    file carries the same metrics schema as the CLI and the regression
+    gate; ``extra`` merges additional summary keys (degradation ratios,
+    scaling factors) into the section and ``include_spec`` optionally
+    keeps the resolved specs (off by default for lean artifacts).
+    """
+    payload: Dict[str, object] = {
+        "results": {
+            label: result.to_dict(include_spec=include_spec)
+            for label, result in results.items()
+        }
+    }
+    if extra:
+        payload.update(extra)
+    return record_bench_section(section, payload, filename=filename)

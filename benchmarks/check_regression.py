@@ -49,8 +49,10 @@ GOLDEN_MARKERS = (
 #: Leaf keys that are same-machine ratios (gated, but not normalized).
 RATIO_KEYS = ("speedup_vs_seed", "scaling_vs_1_shard")
 
-#: Leaf keys ignored entirely (wall-clock noise / metadata).
-IGNORED_KEYS = ("elapsed_sec", "scale")
+#: Leaf keys ignored entirely (wall-clock noise / metadata).  Result.to_dict
+#: payloads (bench_output.record_results) carry wall_clock_sec and the spec's
+#: schema/seed bookkeeping; none of those are simulation output.
+IGNORED_KEYS = ("elapsed_sec", "scale", "wall_clock_sec", "seed", "schema_version")
 
 CALIBRATION_FILE = "calibration.json"
 CALIBRATION_LOOP = 2_000_000

@@ -3,27 +3,37 @@
 Every registered scheduler replays the *identical* workload draw on the
 identical (deliberately congested) cluster behind an
 :class:`~repro.simulator.async_sched.AsyncSchedulerBackend`, sweeping the
-charged decision latency.  The curve quantifies how much of each
-scheduler's paper-reported advantage survives realistic control-plane
-delay; latency 0 in non-pipelined mode is asserted **bit-identical** to
-the synchronous engine, so the curves are anchored at today's golden
-numbers.  Asserts a monotone (non-decreasing, strictly growing overall)
-degradation curve for at least 3 schedulers — the ISSUE 4 acceptance bar
-— and dumps everything into ``BENCH_4.json`` (CI artifact + regression
-baseline).
+charged decision latency through the declarative API
+(:func:`repro.api.run` with an ``async`` section).  The curve quantifies
+how much of each scheduler's paper-reported advantage survives realistic
+control-plane delay; latency 0 in non-pipelined mode is asserted
+**bit-identical** to the synchronous engine, so the curves are anchored at
+today's golden numbers.  Asserts a monotone (non-decreasing, strictly
+growing overall) degradation curve for at least 3 schedulers — the ISSUE 4
+acceptance bar — and dumps everything into ``BENCH_4.json`` (CI artifact +
+regression baseline), including per-run ``Result.to_dict()`` payloads so
+the file shares one schema with the CLI and the regression gate.
 
 Smoke mode (``BENCH_SCALE=smoke``) shrinks the job count for CI.
 """
 
 import os
 
-from bench_output import record_bench_section
+from bench_output import record_results
 from conftest import BENCH_SETTINGS
-from repro.experiments.runner import build_priors, build_profiler, run_single
+from repro.api import (
+    AsyncSection,
+    ClusterSection,
+    ScenarioSpec,
+    SchedulerSection,
+    WorkloadSection,
+    build_priors,
+    build_profiler,
+    run,
+)
 from repro.schedulers.registry import available_schedulers
-from repro.simulator.async_sched import AsyncConfig
 from repro.simulator.cluster import ClusterConfig
-from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+from repro.workloads.mixtures import default_applications
 
 SMOKE = os.environ.get("BENCH_SCALE") == "smoke"
 NUM_JOBS = 30 if SMOKE else 80
@@ -31,9 +41,7 @@ LATENCIES = (0.0, 1.0, 2.0, 5.0)
 MIN_MONOTONE_SCHEDULERS = 3
 OUTPUT_FILE = "BENCH_4.json"
 
-SPEC = WorkloadSpec(
-    workload_type=WorkloadType.MIXED, num_jobs=NUM_JOBS, arrival_rate=1.2, seed=7
-)
+WORKLOAD = WorkloadSection.closed_loop("mixed", num_jobs=NUM_JOBS, arrival_rate=1.2, seed=7)
 #: Small on purpose: decision latency only bites under contention.
 CLUSTER = ClusterConfig(num_regular_executors=3, num_llm_executors=2, max_batch_size=4)
 
@@ -51,36 +59,38 @@ def test_bench_async_latency_degradation():
     priors = build_priors(applications, BENCH_SETTINGS)
     profiler = build_profiler(applications, BENCH_SETTINGS)
 
+    def scenario(name, latency=None):
+        return ScenarioSpec(
+            scheduler=SchedulerSection(name),
+            workload=WORKLOAD,
+            cluster=ClusterSection(config=CLUSTER),
+            async_=AsyncSection(latency=latency) if latency is not None else None,
+            settings=BENCH_SETTINGS,
+        )
+
     curves = {}
     monotone = []
+    results = {}
     for name in SCHEDULERS:
-        sync = run_single(
-            name,
-            SPEC,
-            applications=applications,
-            settings=BENCH_SETTINGS,
-            priors=priors,
-            profiler=profiler,
-            cluster_config=CLUSTER,
-        )
+        sync = run(
+            scenario(name), applications=applications, priors=priors, profiler=profiler
+        ).metrics
         jcts = []
         for latency in LATENCIES:
-            metrics = run_single(
-                name,
-                SPEC,
+            result = run(
+                scenario(name, latency=latency),
                 applications=applications,
-                settings=BENCH_SETTINGS,
                 priors=priors,
                 profiler=profiler,
-                cluster_config=CLUSTER,
-                async_config=AsyncConfig(latency=latency),
             )
+            metrics = result.metrics
             if latency == 0.0:
                 # The async backend at latency 0 must be the synchronous
                 # engine bit for bit, for every scheduler.
                 assert metrics.job_completion_times == sync.job_completion_times, name
                 assert metrics.makespan == sync.makespan, name
             jcts.append(metrics.average_jct)
+            results[f"{name}@{latency:g}s"] = result
         curves[name] = jcts
         if is_monotone_degradation(jcts):
             monotone.append(name)
@@ -96,9 +106,11 @@ def test_bench_async_latency_degradation():
         f"(need >= {MIN_MONOTONE_SCHEDULERS})"
     )
 
-    record_bench_section(
+    record_results(
         "async_latency_degradation",
-        {
+        results,
+        filename=OUTPUT_FILE,
+        extra={
             "num_jobs": NUM_JOBS,
             "latencies": list(LATENCIES),
             "average_jct_by_scheduler": {
@@ -109,5 +121,4 @@ def test_bench_async_latency_degradation():
             },
             "monotone_schedulers": monotone,
         },
-        filename=OUTPUT_FILE,
     )

@@ -2,11 +2,12 @@
 
 The same congested open-loop Poisson stream is pushed through fleets of
 1, 2 and 4 shards built from the *identical total hardware* (the total
-cluster config is split across shards), so the measurement isolates what
-sharding buys: each shard's scheduling pass sees only its own active
-jobs, and per-event cost shrinks with the shard's share of the backlog.
-Asserts ≥ 2.5x aggregate events/second at 4 shards vs 1 shard (the
-ISSUE 3 acceptance bar) and dumps the curve into ``BENCH_3.json``.
+cluster config is split across shards by the declarative API's federated
+cluster section), so the measurement isolates what sharding buys: each
+shard's scheduling pass sees only its own active jobs, and per-event cost
+shrinks with the shard's share of the backlog.  Asserts ≥ 2.5x aggregate
+events/second at 4 shards vs 1 shard (the ISSUE 3 acceptance bar) and
+dumps the curve into ``BENCH_3.json``.
 
 Smoke mode (``BENCH_SCALE=smoke``) shrinks the stream for CI; the bar is
 relaxed there because short runs never build the deep backlog the
@@ -17,7 +18,13 @@ import os
 import time
 
 from bench_output import record_bench_section
-from repro.experiments.runner import split_cluster_config
+from repro.api import (
+    ClusterSection,
+    ScenarioSpec,
+    SchedulerSection,
+    WorkloadSection,
+    run,
+)
 from repro.schedulers.fcfs import FcfsScheduler
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.federation import (
@@ -25,7 +32,7 @@ from repro.simulator.federation import (
     FederatedSimulationEngine,
     LeastLoadedRouter,
 )
-from repro.workloads.arrivals import PoissonProcess, open_loop_jobs
+from repro.workloads.arrivals import PoissonProcess
 
 SMOKE = os.environ.get("BENCH_SCALE") == "smoke"
 STREAM_JOBS = 300 if SMOKE else 1500
@@ -39,23 +46,35 @@ TOTAL_CLUSTER = ClusterConfig(num_regular_executors=16, num_llm_executors=8, max
 
 
 def run_fleet(num_shards):
-    stream = open_loop_jobs(
-        PoissonProcess(rate=ARRIVAL_RATE, seed=11), seed=11, max_jobs=STREAM_JOBS
+    """One fleet cell through the declarative front door.
+
+    A 1-shard "fleet" runs through the federated engine directly (the spec
+    API maps ``num_shards=1`` to the plain single engine, which would skew
+    the throughput baseline of this scaling curve).
+    """
+    workload = WorkloadSection.open_loop(
+        PoissonProcess(rate=ARRIVAL_RATE, seed=11),
+        seed=11,
+        max_jobs=STREAM_JOBS,
+        name="open_loop_poisson",
     )
-    fleet = FederatedCluster(
-        [
-            (f"shard-{i}", Cluster(config))
-            for i, config in enumerate(split_cluster_config(TOTAL_CLUSTER, num_shards))
-        ],
-        router=LeastLoadedRouter(),
+    if num_shards == 1:
+        stream = workload.to_open_loop_spec().jobs(None)
+        fleet = FederatedCluster(
+            [("shard-0", Cluster(TOTAL_CLUSTER))], router=LeastLoadedRouter()
+        )
+        engine = FederatedSimulationEngine(
+            stream, FcfsScheduler, fleet, workload_name="open_loop_poisson"
+        )
+        started = time.perf_counter()
+        return engine.run(), time.perf_counter() - started
+    spec = ScenarioSpec(
+        scheduler=SchedulerSection("fcfs"),
+        workload=workload,
+        cluster=ClusterSection(config=TOTAL_CLUSTER, num_shards=num_shards),
     )
-    engine = FederatedSimulationEngine(
-        stream, FcfsScheduler, fleet, workload_name="open_loop_poisson"
-    )
-    started = time.perf_counter()
-    metrics = engine.run()
-    elapsed = time.perf_counter() - started
-    return metrics, elapsed
+    result = run(spec)
+    return result.metrics, result.wall_clock_sec
 
 
 def test_bench_federation_shard_scaling():
@@ -109,8 +128,9 @@ def test_bench_federated_migration_overhead():
     """Migration keeps a skewed fleet healthy without measurable slowdown.
 
     A hash-skewed 2-shard fleet (all jobs on one shard) runs once without
-    and once with rebalancing; the benchmark records the JCT win and the
-    wall-clock cost of the migration machinery.
+    and once with rebalancing; the custom skew router is injected through
+    :func:`repro.api.run`'s ``router`` override.  The benchmark records the
+    JCT win and the wall-clock cost of the migration machinery.
     """
     from repro.simulator.federation import HashRouter, MigrationConfig
 
@@ -120,24 +140,21 @@ def test_bench_federated_migration_overhead():
 
     jobs = 120 if SMOKE else 400
 
-    def run(migration):
-        stream = open_loop_jobs(
-            PoissonProcess(rate=4.0, seed=23), seed=23, max_jobs=jobs
+    def run_skewed(migration):
+        spec = ScenarioSpec(
+            scheduler=SchedulerSection("fcfs"),
+            workload=WorkloadSection.open_loop(
+                PoissonProcess(rate=4.0, seed=23), seed=23, max_jobs=jobs
+            ),
+            cluster=ClusterSection(
+                config=TOTAL_CLUSTER, num_shards=2, migration=migration
+            ),
         )
-        fleet = FederatedCluster(
-            [
-                (f"shard-{i}", Cluster(config))
-                for i, config in enumerate(split_cluster_config(TOTAL_CLUSTER, 2))
-            ],
-            router=AllToZero(),
-        )
-        engine = FederatedSimulationEngine(stream, FcfsScheduler, fleet, migration=migration)
-        started = time.perf_counter()
-        metrics = engine.run()
-        return metrics, time.perf_counter() - started
+        result = run(spec, router=AllToZero())
+        return result.metrics, result.wall_clock_sec
 
-    skewed, skewed_elapsed = run(None)
-    balanced, balanced_elapsed = run(
+    skewed, skewed_elapsed = run_skewed(None)
+    balanced, balanced_elapsed = run_skewed(
         MigrationConfig(interval=10.0, imbalance_threshold=0.2, max_migrations_per_check=4)
     )
     assert balanced.num_migrations > 0

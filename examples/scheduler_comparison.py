@@ -8,16 +8,17 @@ couple of minutes::
 
 import argparse
 
-from repro.experiments.report import format_table
-from repro.experiments.runner import (
+from repro.api import (
     PAPER_BASELINES,
     ExperimentSettings,
+    ScenarioSpec,
+    WorkloadSection,
     build_priors,
     build_profiler,
-    run_comparison,
-    size_cluster_for_workload,
+    compare,
 )
-from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+from repro.experiments.report import format_table
+from repro.workloads.mixtures import WorkloadType, default_applications
 
 
 def main() -> None:
@@ -35,21 +36,21 @@ def main() -> None:
 
     rows = []
     for workload_type in WorkloadType:
-        spec = WorkloadSpec(
-            workload_type=workload_type,
-            num_jobs=args.num_jobs,
-            arrival_rate=args.arrival_rate,
-            seed=args.seed,
+        scenario = ScenarioSpec(
+            workload=WorkloadSection.closed_loop(
+                workload_type.value,
+                num_jobs=args.num_jobs,
+                arrival_rate=args.arrival_rate,
+                seed=args.seed,
+            ),
+            settings=settings,
         )
-        cluster = size_cluster_for_workload(spec, applications, settings)
-        comparison = run_comparison(
-            spec,
+        comparison = compare(
+            scenario,
             schedulers,
             applications=applications,
-            settings=settings,
             priors=priors,
             profiler=profiler,
-            cluster_config=cluster,
         )
         row = {"workload": workload_type.value}
         row.update({name: comparison.metrics[name].average_jct for name in schedulers})

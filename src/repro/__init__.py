@@ -20,8 +20,13 @@ Subpackages
     workload mixes.
 ``repro.experiments``
     Harness regenerating every table and figure of the paper.
+``repro.api``
+    The declarative experiment API: a serializable :class:`ScenarioSpec`
+    tree, one ``run()`` front door for every engine, override-axis grids,
+    and the ``python -m repro`` CLI.
 """
 
+from repro import api
 from repro.core import (
     BatchingAwareCalibrator,
     BayesianProfiler,
@@ -37,6 +42,7 @@ from repro.workloads import WorkloadSpec, WorkloadType, default_applications, ge
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "BayesianProfiler",
     "BatchingAwareCalibrator",
     "LLMSchedConfig",

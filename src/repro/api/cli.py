@@ -1,0 +1,183 @@
+"""``python -m repro`` — run declarative experiment specs from the shell.
+
+Subcommands
+-----------
+``run <spec.json>``
+    Resolve and run one scenario; print a summary, optionally write the
+    full :class:`~repro.api.results.Result` JSON with ``--output``.
+``grid <spec.json> --axis path=v1,v2,...``
+    Fan the spec out over override axes (repeat ``--axis``), in parallel
+    with ``--processes``.
+``validate <spec.json> [...]``
+    Parse + validate specs without running anything; exit 1 on the first
+    invalid file with its actionable error.
+``list-schedulers``
+    Print every scheduler name :func:`repro.api.run` accepts, plus the
+    available placement policies and job routers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.dispatch import run as run_spec
+from repro.api.grid import run_grid
+from repro.api.results import Result
+from repro.api.spec import ScenarioSpec, SpecError
+from repro.schedulers.registry import available_schedulers
+from repro.simulator.federation import available_job_routers
+from repro.simulator.placement import available_placement_policies
+
+__all__ = ["main"]
+
+
+def _load_spec(path: str) -> ScenarioSpec:
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file {path!r}: {exc}") from exc
+    return ScenarioSpec.from_json(text)
+
+
+def _parse_axis_value(raw: str) -> object:
+    """Axis values are JSON when possible (2, 1.5, true), strings otherwise."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def _parse_axes(pairs: Sequence[str]) -> Dict[str, List[object]]:
+    axes: Dict[str, List[object]] = {}
+    for pair in pairs:
+        path, sep, values = pair.partition("=")
+        if not sep or not path or not values:
+            raise SpecError(
+                f"invalid --axis {pair!r}; expected dotted.path=value1,value2,..."
+            )
+        axes[path] = [_parse_axis_value(v) for v in values.split(",")]
+    return axes
+
+
+def _summarize(result: Result, label: str = "") -> str:
+    metrics = result.metrics
+    prefix = f"{label:<28s} " if label else ""
+    kind = "federated" if result.is_federated else "single"
+    return (
+        f"{prefix}{result.spec.scheduler.name:>12s} | {kind:9s} | "
+        f"jobs {len(metrics.job_completion_times):5d} | "
+        f"avg JCT {metrics.average_jct:10.2f}s | makespan {metrics.makespan:10.2f}s | "
+        f"wall {result.wall_clock_sec:6.2f}s"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    result = run_spec(spec)
+    print(_summarize(result))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.to_json(include_spec=not args.no_spec))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    axes = _parse_axes(args.axis or [])
+    if not axes:
+        raise SpecError("grid needs at least one --axis dotted.path=value1,value2,...")
+    rows = run_grid(spec, axes, processes=args.processes)
+    for overrides, result in rows:
+        label = ", ".join(f"{k}={v}" for k, v in overrides.items())
+        print(_summarize(result, label=label))
+    if args.output:
+        payload = [
+            {"overrides": overrides, **result.to_dict(include_spec=not args.no_spec)}
+            for overrides, result in rows
+        ]
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    for path in args.specs:
+        spec = _load_spec(path)
+        mode = spec.workload.mode
+        shards = spec.cluster.num_shards
+        print(f"{path}: ok ({spec.scheduler.name}, {mode}-loop, {shards} shard(s))")
+    return 0
+
+
+def _cmd_list_schedulers(args: argparse.Namespace) -> int:
+    names = available_schedulers(include_preemptive=True, include_ablations=True)
+    print("schedulers:")
+    for name in names:
+        print(f"  {name}")
+    print(f"placement policies: {', '.join(available_placement_policies())}")
+    print(f"job routers: {', '.join(available_job_routers())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative LLMSched-reproduction experiment specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one scenario spec")
+    p_run.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    p_run.add_argument("--output", help="write the full Result JSON here")
+    p_run.add_argument(
+        "--no-spec", action="store_true", help="omit the resolved spec from --output"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_grid = sub.add_parser("grid", help="run a grid of override axes over one spec")
+    p_grid.add_argument("spec", help="path to the base ScenarioSpec JSON file")
+    p_grid.add_argument(
+        "--axis",
+        action="append",
+        metavar="PATH=V1,V2,...",
+        help="override axis, e.g. workload.arrival_rate=0.6,0.9,1.2 (repeatable)",
+    )
+    p_grid.add_argument("--processes", type=int, default=None, help="worker processes")
+    p_grid.add_argument("--output", help="write all grid Results as JSON here")
+    p_grid.add_argument(
+        "--no-spec", action="store_true", help="omit resolved specs from --output"
+    )
+    p_grid.set_defaults(func=_cmd_grid)
+
+    p_val = sub.add_parser("validate", help="validate spec files without running them")
+    p_val.add_argument("specs", nargs="+", help="ScenarioSpec JSON files")
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_list = sub.add_parser(
+        "list-schedulers", help="list scheduler / placement / router names"
+    )
+    p_list.set_defaults(func=_cmd_list_schedulers)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # SpecError and the run-time resolution errors (e.g. an unsplittable
+        # shard count) are all ValueErrors with actionable messages.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

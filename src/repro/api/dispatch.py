@@ -1,0 +1,255 @@
+"""Resolve a :class:`~repro.api.spec.ScenarioSpec` and run it.
+
+:func:`run` is the single front door for every engine the simulator
+offers: closed-loop and open-loop single clusters (synchronous or behind
+an asynchronous decision-latency backend, optionally autoscaled) and
+federated fleets.  The spec is declarative; keyword overrides let callers
+inject live objects — prebuilt priors/profilers (worker caches), custom
+placement policies, routers or async configs that the JSON schema cannot
+express — and always take precedence over the corresponding section.
+
+The legacy ``repro.experiments.runner`` entry points are thin shims over
+this module; running a spec here is bit-identical to the old paths (the
+golden-trace identity tests in ``tests/test_api_run.py`` pin that).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Mapping, Optional, Sequence
+
+from repro.api.prep import (
+    build_priors,
+    build_profiler,
+    size_cluster,
+    size_cluster_for_workload,
+    split_cluster_config,
+)
+from repro.api.results import ComparisonResult, Result
+from repro.api.spec import ScenarioSpec, SchedulerSection, SpecError
+from repro.core.profiler import BayesianProfiler
+from repro.dag.application import ApplicationTemplate
+from repro.schedulers.base import Scheduler
+from repro.schedulers.priors import ApplicationPriors
+from repro.schedulers.registry import (
+    LLMSCHED_VARIANTS,
+    create_scheduler,
+    scheduler_requirements,
+)
+from repro.simulator.async_sched import AsyncConfig, AsyncSchedulerBackend
+from repro.simulator.autoscaler import ThresholdAutoscaler
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.federation import (
+    FederatedCluster,
+    FederatedSimulationEngine,
+    JobRouter,
+    create_job_router,
+)
+from repro.simulator.placement import PlacementPolicy, create_placement_policy
+from repro.simulator.protocol import ensure_engine_protocol
+from repro.workloads.mixtures import default_applications, generate_workload
+
+__all__ = ["run", "compare"]
+
+
+def _make_scheduler(spec: ScenarioSpec, priors, profiler) -> Scheduler:
+    section = spec.scheduler
+    if section.name.lower() in LLMSCHED_VARIANTS:
+        # LLMSched kwargs override Algorithm 1 config fields declaratively.
+        settings = spec.settings
+        if section.kwargs:
+            settings = replace(settings, llmsched=replace(settings.llmsched, **section.kwargs))
+        return create_scheduler(section.name, profiler=profiler, settings=settings)
+    return create_scheduler(
+        section.name, priors=priors, profiler=profiler, settings=spec.settings, **section.kwargs
+    )
+
+
+def _resolve_total_config(
+    spec: ScenarioSpec, applications: Mapping[str, ApplicationTemplate]
+) -> Optional[ClusterConfig]:
+    """The (explicit or workload-sized) total cluster config, None for pools."""
+    section = spec.cluster
+    if section.pools is not None:
+        return None
+    if section.config is not None:
+        return section.config
+    workload = spec.workload
+    if workload.mode == "closed":
+        return size_cluster_for_workload(
+            workload.to_workload_spec(), applications, spec.settings
+        )
+    rate = section.nominal_rate
+    if rate is None:
+        rate = getattr(workload.process, "rate", None)
+        if rate is None:
+            raise SpecError(
+                "open-loop sizing needs cluster.nominal_rate (or an explicit cluster "
+                f"config) for {type(workload.process).__name__}"
+            )
+    names = list(workload.application_names or sorted(applications))
+    return size_cluster(float(rate), names, applications, spec.settings)
+
+
+def run(
+    spec: ScenarioSpec,
+    *,
+    applications: Optional[Mapping[str, ApplicationTemplate]] = None,
+    priors: Optional[ApplicationPriors] = None,
+    profiler: Optional[BayesianProfiler] = None,
+    placement: Optional[PlacementPolicy] = None,
+    autoscaler: Optional[ThresholdAutoscaler] = None,
+    router: Optional[JobRouter] = None,
+    async_config: Optional[AsyncConfig] = None,
+) -> Result:
+    """Run one scenario and return its uniform :class:`Result`.
+
+    Offline artifacts (``priors``, ``profiler``) are built from the spec's
+    settings only when the scheduler actually needs them; passing prebuilt
+    ones (e.g. from a sweep worker's cache) skips that work without
+    changing the simulation.  The live-object overrides supersede their
+    declarative sections (see module docstring).
+    """
+    spec.validate()
+    # Live-object overrides that the selected engine would never consult are
+    # rejected (mirroring the spec-level conflict validation) — silently
+    # dropping a router or autoscaler would corrupt an experiment.
+    if spec.cluster.num_shards > 1:
+        if placement is not None or autoscaler is not None:
+            raise SpecError(
+                "placement/autoscaler overrides do not apply to federated runs "
+                "(num_shards > 1); drop them or set num_shards=1"
+            )
+    elif router is not None:
+        raise SpecError(
+            "a router override only applies to federated runs; set "
+            "cluster.num_shards > 1 to route jobs across shards"
+        )
+    applications = applications or default_applications()
+    requirements = scheduler_requirements(spec.scheduler.name)
+    if priors is None and "priors" in requirements:
+        priors = build_priors(applications, spec.settings)
+    if profiler is None and "profiler" in requirements:
+        profiler = build_profiler(applications, spec.settings)
+
+    if async_config is None and spec.async_ is not None:
+        async_config = spec.async_.to_async_config()
+    if placement is None and spec.placement is not None:
+        placement = create_placement_policy(spec.placement.name)
+    if autoscaler is None and spec.autoscaler is not None:
+        autoscaler = ThresholdAutoscaler(spec.autoscaler)
+
+    total_config = _resolve_total_config(spec, applications)
+    resolved = spec
+    if total_config is not None and spec.cluster.config is None:
+        resolved = replace(spec, cluster=replace(spec.cluster, config=total_config))
+
+    started = time.perf_counter()
+    if spec.cluster.num_shards > 1:
+        metrics = _run_federated(resolved, applications, priors, profiler, router, async_config)
+    else:
+        metrics = _run_single(
+            resolved, applications, priors, profiler, placement, autoscaler, async_config
+        )
+    wall_clock = time.perf_counter() - started
+    return Result(
+        spec=resolved, metrics=metrics, seed=spec.workload.seed, wall_clock_sec=wall_clock
+    )
+
+
+def _run_single(spec, applications, priors, profiler, placement, autoscaler, async_config):
+    workload = spec.workload
+    if spec.cluster.pools is not None:
+        cluster = Cluster(pools=spec.cluster.pools)
+    else:
+        cluster = Cluster(spec.cluster.config)
+    if workload.mode == "closed":
+        jobs = generate_workload(workload.to_workload_spec(), applications=applications)
+        workload_name = workload.workload_type
+    else:
+        jobs = workload.to_open_loop_spec().jobs(dict(applications))
+        workload_name = workload.name
+    engine = ensure_engine_protocol(
+        SimulationEngine(
+            jobs,
+            _make_scheduler(spec, priors, profiler),
+            cluster=cluster,
+            workload_name=workload_name,
+            placement=placement,
+            autoscaler=autoscaler,
+            async_backend=(
+                AsyncSchedulerBackend(async_config) if async_config is not None else None
+            ),
+        )
+    )
+    return engine.run()
+
+
+def _run_federated(spec, applications, priors, profiler, router, async_config):
+    section = spec.cluster
+    shard_configs = split_cluster_config(section.config, section.num_shards)
+    fleet = FederatedCluster(
+        [(f"shard-{i}", Cluster(cfg)) for i, cfg in enumerate(shard_configs)],
+        router=(
+            router
+            if router is not None
+            else create_job_router(section.router, **section.router_kwargs)
+        ),
+    )
+    engine = ensure_engine_protocol(
+        FederatedSimulationEngine(
+            spec.workload.to_open_loop_spec().jobs(dict(applications)),
+            lambda: _make_scheduler(spec, priors, profiler),
+            fleet,
+            workload_name=spec.workload.name,
+            migration=section.migration,
+            async_backend_factory=(
+                (lambda: AsyncSchedulerBackend(async_config))
+                if async_config is not None
+                else None
+            ),
+        )
+    )
+    return engine.run()
+
+
+def compare(
+    spec: ScenarioSpec,
+    scheduler_names: Sequence[str],
+    *,
+    applications: Optional[Mapping[str, ApplicationTemplate]] = None,
+    priors: Optional[ApplicationPriors] = None,
+    profiler: Optional[BayesianProfiler] = None,
+) -> ComparisonResult:
+    """Run several schedulers on the *identical* workload draw and cluster.
+
+    The cluster is resolved once (auto-sizing included) and every scheduler
+    replays the same closed-loop draw on it, so the returned
+    :class:`ComparisonResult` is a fair comparison; priors/profiler are
+    built once, only if some scheduler in the list needs them.
+    """
+    if not scheduler_names:
+        raise ValueError("scheduler_names must not be empty")
+    if spec.workload.mode != "closed":
+        raise SpecError("compare() needs a closed-loop workload (identical draws per scheduler)")
+    applications = applications or default_applications()
+    needs = set()
+    for name in scheduler_names:
+        needs |= scheduler_requirements(name)
+    if priors is None and "priors" in needs:
+        priors = build_priors(applications, spec.settings)
+    if profiler is None and "profiler" in needs:
+        profiler = build_profiler(applications, spec.settings)
+    if spec.cluster.pools is not None:
+        resolved_cluster = spec.cluster
+    else:
+        resolved_cluster = replace(spec.cluster, config=_resolve_total_config(spec, applications))
+    metrics = {}
+    for name in scheduler_names:
+        cell = replace(spec, scheduler=SchedulerSection(name=name), cluster=resolved_cluster)
+        metrics[name] = run(
+            cell, applications=applications, priors=priors, profiler=profiler
+        ).metrics
+    return ComparisonResult(workload=spec.workload.to_workload_spec(), metrics=metrics)

@@ -1,0 +1,101 @@
+"""Uniform run results: what every :func:`repro.api.run` call returns.
+
+A :class:`Result` bundles the metrics of a run with the *resolved* spec
+that produced it (auto-sized cluster configs filled in), the workload RNG
+seed and the wall-clock cost, and serializes to one schema consumed by the
+CLI's ``--output``, the benchmark files (``BENCH_*.json``) and the CI
+regression gate — single-cluster and federated runs alike.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Union
+
+from repro.simulator.federation import FederationMetrics
+from repro.simulator.metrics import SimulationMetrics
+from repro.workloads.mixtures import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import ScenarioSpec
+
+__all__ = ["Result", "ComparisonResult"]
+
+AnyMetrics = Union[SimulationMetrics, FederationMetrics]
+
+
+@dataclass
+class Result:
+    """Metrics + resolved spec + seed + wall-clock of one scenario run."""
+
+    spec: "ScenarioSpec"
+    metrics: AnyMetrics
+    seed: int
+    wall_clock_sec: float
+
+    # Passthrough views ---------------------------------------------------- #
+    @property
+    def average_jct(self) -> float:
+        return self.metrics.average_jct
+
+    @property
+    def job_completion_times(self) -> Dict[str, float]:
+        return self.metrics.job_completion_times
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.makespan
+
+    @property
+    def is_federated(self) -> bool:
+        return isinstance(self.metrics, FederationMetrics)
+
+    # Serialization -------------------------------------------------------- #
+    def to_dict(self, include_spec: bool = True) -> Dict[str, object]:
+        """One schema for every run kind (fed straight into BENCH_*.json).
+
+        ``include_spec=False`` drops the resolved spec for lean artifacts;
+        the metrics payload is ``metrics.to_dict()`` either way, so the
+        benchmark regression gate reads the same keys everywhere.
+        """
+        out: Dict[str, object] = {
+            "schema_version": self.spec.schema_version,
+            "seed": self.seed,
+            "wall_clock_sec": self.wall_clock_sec,
+            "metrics": self.metrics.to_dict(),
+        }
+        if include_spec:
+            out["spec"] = self.spec.to_dict()
+        return out
+
+    def to_json(self, indent: int = 2, include_spec: bool = True) -> str:
+        return (
+            json.dumps(self.to_dict(include_spec=include_spec), indent=indent, sort_keys=True)
+            + "\n"
+        )
+
+
+@dataclass
+class ComparisonResult:
+    """Average JCT (and full metrics) of several schedulers on one workload."""
+
+    workload: WorkloadSpec
+    metrics: Dict[str, SimulationMetrics]
+
+    def average_jcts(self) -> Dict[str, float]:
+        return {name: m.average_jct for name, m in self.metrics.items()}
+
+    def normalized_to(self, reference: str) -> Dict[str, float]:
+        base = self.metrics[reference].average_jct
+        if base <= 0:
+            raise ValueError(f"reference scheduler {reference!r} has non-positive JCT")
+        return {name: m.average_jct / base for name, m in self.metrics.items()}
+
+    def improvement_over(self, baseline: str, target: str = "llmsched") -> float:
+        """Relative JCT reduction of ``target`` vs ``baseline`` (paper's headline %)."""
+        base = self.metrics[baseline].average_jct
+        ours = self.metrics[target].average_jct
+        if base <= 0:
+            return 0.0
+        return 1.0 - ours / base

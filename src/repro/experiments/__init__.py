@@ -8,6 +8,11 @@ reduced scale so the whole harness stays runnable in CI; full paper-scale
 parameters are available through each module's command line, e.g.::
 
     python -m repro.experiments.fig7_simulation --num-jobs 100 200 300 400
+
+The figure drivers run through the declarative API (:mod:`repro.api`);
+the ``run_*`` / ``sweep_*`` names re-exported from
+:mod:`repro.experiments.runner` are deprecated shims kept for backwards
+compatibility.
 """
 
 from repro.experiments.runner import (

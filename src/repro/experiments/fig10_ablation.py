@@ -12,15 +12,16 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.report import format_table
-from repro.experiments.runner import (
+from repro.api import (
     ExperimentSettings,
+    ScenarioSpec,
+    WorkloadSection,
     build_priors,
     build_profiler,
-    run_comparison,
-    size_cluster_for_workload,
+    compare,
 )
-from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+from repro.experiments.report import format_table
+from repro.workloads.mixtures import WorkloadType, default_applications
 
 __all__ = ["run", "main", "ABLATION_SCHEDULERS"]
 
@@ -51,18 +52,18 @@ def run(
 
     rows: List[Dict[str, object]] = []
     for workload_type in workload_types:
-        spec = WorkloadSpec(
-            workload_type=workload_type, num_jobs=num_jobs, arrival_rate=arrival_rate, seed=seed
+        scenario = ScenarioSpec(
+            workload=WorkloadSection.closed_loop(
+                workload_type.value, num_jobs=num_jobs, arrival_rate=arrival_rate, seed=seed
+            ),
+            settings=settings,
         )
-        cluster = size_cluster_for_workload(spec, applications, settings)
-        comparison = run_comparison(
-            spec,
+        comparison = compare(
+            scenario,
             scheduler_names,
             applications=applications,
-            settings=settings,
             priors=priors,
             profiler=profiler,
-            cluster_config=cluster,
         )
         normalized = comparison.normalized_to("llmsched")
         row: Dict[str, object] = {

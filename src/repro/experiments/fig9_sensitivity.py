@@ -11,19 +11,21 @@ of LLMSched at its default configuration on the same workload.
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace
 from typing import Dict, Optional, Sequence
 
-from repro.core.llmsched import LLMSchedConfig
-from repro.experiments.report import format_series
-from repro.experiments.runner import (
+from repro.api import (
+    ClusterSection,
     ExperimentSettings,
+    ScenarioSpec,
+    SchedulerSection,
+    WorkloadSection,
     build_priors,
     build_profiler,
-    run_single,
+    run as run_scenario,
     size_cluster_for_workload,
 )
 from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+from repro.experiments.report import format_series
 
 __all__ = ["run_epsilon_sweep", "run_sampling_sweep", "run_arrival_sweep", "run", "main"]
 
@@ -47,15 +49,18 @@ def run_epsilon_sweep(
     settings = settings or ExperimentSettings()
     applications, priors, profiler = _prepared(settings)
     spec = WorkloadSpec(workload_type=workload_type, num_jobs=num_jobs, arrival_rate=arrival_rate, seed=seed)
-    cluster = size_cluster_for_workload(spec, applications, settings)
+    scenario = ScenarioSpec(
+        workload=WorkloadSection.from_workload_spec(spec),
+        cluster=ClusterSection(config=size_cluster_for_workload(spec, applications, settings)),
+        settings=settings,
+    )
     jcts: Dict[float, float] = {}
     for epsilon in epsilons:
-        run_settings = replace(settings, llmsched=replace(settings.llmsched, epsilon=float(epsilon)))
-        metrics = run_single(
-            "llmsched", spec, applications=applications, settings=run_settings,
-            priors=priors, profiler=profiler, cluster_config=cluster,
+        result = run_scenario(
+            scenario.with_scheduler("llmsched", epsilon=float(epsilon)),
+            applications=applications, priors=priors, profiler=profiler,
         )
-        jcts[float(epsilon)] = metrics.average_jct
+        jcts[float(epsilon)] = result.average_jct
     reference = jcts.get(settings.llmsched.epsilon) or min(jcts.values())
     return {eps: jct / reference for eps, jct in jcts.items()}
 
@@ -72,15 +77,18 @@ def run_sampling_sweep(
     settings = settings or ExperimentSettings()
     applications, priors, profiler = _prepared(settings)
     spec = WorkloadSpec(workload_type=workload_type, num_jobs=num_jobs, arrival_rate=arrival_rate, seed=seed)
-    cluster = size_cluster_for_workload(spec, applications, settings)
+    scenario = ScenarioSpec(
+        workload=WorkloadSection.from_workload_spec(spec),
+        cluster=ClusterSection(config=size_cluster_for_workload(spec, applications, settings)),
+        settings=settings,
+    )
     jcts: Dict[float, float] = {}
     for ratio in ratios:
-        run_settings = replace(settings, llmsched=replace(settings.llmsched, sampling_ratio=float(ratio)))
-        metrics = run_single(
-            "llmsched", spec, applications=applications, settings=run_settings,
-            priors=priors, profiler=profiler, cluster_config=cluster,
+        result = run_scenario(
+            scenario.with_scheduler("llmsched", sampling_ratio=float(ratio)),
+            applications=applications, priors=priors, profiler=profiler,
         )
-        jcts[float(ratio)] = metrics.average_jct
+        jcts[float(ratio)] = result.average_jct
     reference = jcts.get(settings.llmsched.sampling_ratio) or min(jcts.values())
     return {ratio: jct / reference for ratio, jct in jcts.items()}
 
@@ -105,14 +113,18 @@ def run_arrival_sweep(
         cluster = size_cluster_for_workload(sizing_spec, applications, settings)
         jcts: Dict[float, float] = {}
         for rate in arrival_rates:
-            spec = WorkloadSpec(
-                workload_type=workload_type, num_jobs=num_jobs, arrival_rate=float(rate), seed=seed
+            scenario = ScenarioSpec(
+                scheduler=SchedulerSection("llmsched"),
+                workload=WorkloadSection.closed_loop(
+                    workload_type.value, num_jobs=num_jobs, arrival_rate=float(rate), seed=seed
+                ),
+                cluster=ClusterSection(config=cluster),
+                settings=settings,
             )
-            metrics = run_single(
-                "llmsched", spec, applications=applications, settings=settings,
-                priors=priors, profiler=profiler, cluster_config=cluster,
+            cell = run_scenario(
+                scenario, applications=applications, priors=priors, profiler=profiler
             )
-            jcts[float(rate)] = metrics.average_jct
+            jcts[float(rate)] = cell.average_jct
         reference = jcts.get(0.9) or min(jcts.values())
         result[workload_type.value] = {rate: jct / reference for rate, jct in jcts.items()}
     return result

@@ -1,54 +1,61 @@
-"""Shared experiment plumbing: cluster sizing, profiling, comparison runs.
+"""Legacy experiment entry points — deprecation shims over :mod:`repro.api`.
 
-Besides the single-run helpers, this module provides the scale-out layer of
-the experiment harness: :func:`run_cells_parallel` executes scheduler ×
-workload cells in separate processes (each worker builds and caches the
-profiler once), and :func:`sweep_arrival_rates` fans a comparison out over
-a grid of arrival rates — the load-sensitivity axis of the paper's
-evaluation.  Open-loop (streamed) workloads from
-:mod:`repro.workloads.arrivals` run through :func:`run_single_open_loop`.
+.. deprecated::
+    Every ``run_*`` / ``sweep_*`` function below constructs a declarative
+    :class:`repro.api.ScenarioSpec` and delegates to :func:`repro.api.run`
+    / :func:`repro.api.run_grid`; they are kept so existing scripts and
+    notebooks keep working — bit-for-bit on every simulated trace, with
+    one documented exception: 1-shard "federations"
+    (``run_federated``/``sweep_shard_counts`` with ``num_shards=1``) now
+    run the plain single-cluster engine and return
+    :class:`~repro.simulator.metrics.SimulationMetrics`.  New code should
+    build specs directly (see the "Declarative API & CLI" section of the
+    README for a migration table).  Offline preparation (:class:`ExperimentSettings`,
+    ``build_priors`` / ``build_profiler``, cluster sizing) lives in
+    :mod:`repro.api.prep` and is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
-from repro.core.calibration import BatchingAwareCalibrator
-from repro.core.llmsched import LLMSchedConfig, LLMSchedScheduler
+from repro.api.dispatch import compare as _api_compare
+from repro.api.dispatch import run as _api_run
+from repro.api.grid import run_grid as _api_run_grid
+from repro.api.grid import run_specs as _api_run_specs
+from repro.api.prep import (
+    PAPER_BASELINES,
+    ExperimentSettings,
+    build_priors,
+    build_profiler,
+    size_cluster,
+    size_cluster_for_workload,
+    split_cluster_config,
+)
+from repro.api.results import ComparisonResult
+from repro.api.spec import (
+    AsyncSection,
+    ClusterSection,
+    PlacementSection,
+    ScenarioSpec,
+    SchedulerSection,
+    WorkloadSection,
+    with_overrides,
+)
 from repro.core.profiler import BayesianProfiler
 from repro.dag.application import ApplicationTemplate
-from repro.schedulers.base import Scheduler
 from repro.schedulers.priors import ApplicationPriors
-from repro.schedulers.registry import create_scheduler
-from repro.schedulers.srtf import SrtfScheduler
-from repro.simulator.async_sched import AsyncConfig, AsyncSchedulerBackend
-from repro.simulator.autoscaler import AutoscalerConfig, ThresholdAutoscaler
-from repro.simulator.cluster import Cluster, ClusterConfig
-from repro.simulator.engine import SimulationEngine
-from repro.simulator.protocol import ensure_engine_protocol
-from repro.simulator.federation import (
-    FederatedCluster,
-    FederatedSimulationEngine,
-    FederationMetrics,
-    JobRouter,
-    MigrationConfig,
-    create_job_router,
-)
-from repro.simulator.latency import DecodingLatencyProfile
+from repro.simulator.async_sched import AsyncConfig
+from repro.simulator.autoscaler import AutoscalerConfig
+from repro.simulator.cluster import ClusterConfig
+from repro.simulator.federation import FederationMetrics, JobRouter, MigrationConfig
 from repro.simulator.metrics import SimulationMetrics
-from repro.simulator.placement import PlacementPolicy, create_placement_policy
+from repro.simulator.placement import PlacementPolicy
 from repro.simulator.pool import PoolSpec
-from repro.utils.rng import make_rng
 from repro.workloads.arrivals import OpenLoopSpec
-from repro.workloads.mixtures import (
-    WorkloadSpec,
-    default_applications,
-    generate_workload,
-)
+from repro.workloads.mixtures import WorkloadSpec, default_applications
 
 __all__ = [
     "ExperimentSettings",
@@ -73,182 +80,19 @@ __all__ = [
     "PAPER_BASELINES",
 ]
 
-#: Baseline order used in the paper's figures (LLMSched appended last).
-PAPER_BASELINES = ["fcfs", "sjf", "fair", "argus", "decima", "carbyne"]
 
-
-@dataclass(frozen=True)
-class ExperimentSettings:
-    """Settings shared by every experiment.
-
-    ``target_load`` plays the role of the paper's manually-configured
-    cluster load: executor pools are sized so the offered work at the
-    configured arrival rate matches roughly ``target_load`` of the pool
-    capacity.  The default keeps the cluster close to saturation during the
-    arrival period, which reproduces the paper's regime where the average
-    JCT grows with the number of jobs and scheduling order matters.
-    """
-
-    target_load: float = 1.0
-    max_batch_size: int = 4
-    latency_slope: float = 0.06
-    profile_jobs: int = 150
-    prior_samples: int = 100
-    profiler_seed: int = 77
-    llmsched: LLMSchedConfig = field(default_factory=LLMSchedConfig)
-
-    def __post_init__(self) -> None:
-        if not 0.0 < self.target_load <= 2.0:
-            raise ValueError("target_load must be within (0, 2]")
-
-
-@dataclass
-class ComparisonResult:
-    """Average JCT (and full metrics) of several schedulers on one workload."""
-
-    workload: WorkloadSpec
-    metrics: Dict[str, SimulationMetrics]
-
-    def average_jcts(self) -> Dict[str, float]:
-        return {name: m.average_jct for name, m in self.metrics.items()}
-
-    def normalized_to(self, reference: str) -> Dict[str, float]:
-        base = self.metrics[reference].average_jct
-        if base <= 0:
-            raise ValueError(f"reference scheduler {reference!r} has non-positive JCT")
-        return {name: m.average_jct / base for name, m in self.metrics.items()}
-
-    def improvement_over(self, baseline: str, target: str = "llmsched") -> float:
-        """Relative JCT reduction of ``target`` vs ``baseline`` (paper's headline %)."""
-        base = self.metrics[baseline].average_jct
-        ours = self.metrics[target].average_jct
-        if base <= 0:
-            return 0.0
-        return 1.0 - ours / base
-
-
-# --------------------------------------------------------------------------- #
-# Offline preparation
-# --------------------------------------------------------------------------- #
-def build_priors(
-    applications: Mapping[str, ApplicationTemplate],
-    settings: Optional[ExperimentSettings] = None,
-) -> ApplicationPriors:
-    settings = settings or ExperimentSettings()
-    return ApplicationPriors.from_applications(
-        applications.values(), n_samples=settings.prior_samples, seed=settings.profiler_seed
-    )
-
-
-def build_profiler(
-    applications: Mapping[str, ApplicationTemplate],
-    settings: Optional[ExperimentSettings] = None,
-) -> BayesianProfiler:
-    settings = settings or ExperimentSettings()
-    profiler = BayesianProfiler()
-    profiler.fit(
-        applications.values(),
-        n_profile_jobs=settings.profile_jobs,
-        seed=settings.profiler_seed,
-    )
-    return profiler
-
-
-def size_cluster_for_workload(
-    spec: WorkloadSpec,
-    applications: Mapping[str, ApplicationTemplate],
-    settings: Optional[ExperimentSettings] = None,
-) -> ClusterConfig:
-    """Size executor pools for a closed-loop workload spec."""
-    return size_cluster(spec.arrival_rate, spec.application_names, applications, settings)
-
-
-def size_cluster(
-    arrival_rate: float,
-    application_names: Sequence[str],
-    applications: Mapping[str, ApplicationTemplate],
-    settings: Optional[ExperimentSettings] = None,
-) -> ClusterConfig:
-    """Size executor pools so the cluster runs at roughly ``target_load``.
-
-    The offered load is estimated from the applications' mean LLM / regular
-    work per job and the arrival rate; one LLM executor serving a batch of
-    ``B`` requests completes up to ``B / latency(B)`` batch-size-1 seconds of
-    work per second.
-    """
-    settings = settings or ExperimentSettings()
-    rng = make_rng(settings.profiler_seed + 1)
-    llm_work_per_job: List[float] = []
-    regular_work_per_job: List[float] = []
-    names = list(application_names)
-    for name in names:
-        app = applications[name]
-        for i in range(30):
-            job = app.sample_job(f"__size__{name}_{i}", 0.0, rng)
-            llm = sum(s.duration for s in job.stages.values() if s.is_llm)
-            regular = sum(
-                s.duration for s in job.stages.values() if not s.is_llm and not s.is_dynamic
-            )
-            llm_work_per_job.append(llm)
-            regular_work_per_job.append(regular)
-
-    mean_llm = float(np.mean(llm_work_per_job))
-    mean_regular = float(np.mean(regular_work_per_job))
-    profile = DecodingLatencyProfile(slope=settings.latency_slope)
-    llm_capacity = settings.max_batch_size / profile.latency(settings.max_batch_size)
-
-    llm_rate = arrival_rate * mean_llm
-    regular_rate = arrival_rate * mean_regular
-    num_llm = max(1, int(round(llm_rate / (settings.target_load * llm_capacity))))
-    # Regular executors (containers) are cheap compared to GPU-backed LLM
-    # executors, so they get ~25% headroom: contention concentrates on the
-    # LLM pool, which is the regime the paper studies.
-    num_regular = max(2, int(np.ceil(regular_rate / (0.75 * settings.target_load))))
-    return ClusterConfig(
-        num_regular_executors=num_regular,
-        num_llm_executors=num_llm,
-        max_batch_size=settings.max_batch_size,
-        latency_slope=settings.latency_slope,
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.experiments.runner.{name} is deprecated; use {replacement} "
+        "(see README, 'Declarative API & CLI')",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
 # --------------------------------------------------------------------------- #
-# Running
+# Single runs
 # --------------------------------------------------------------------------- #
-def _make_scheduler(
-    name: str,
-    priors: ApplicationPriors,
-    profiler: BayesianProfiler,
-    settings: ExperimentSettings,
-) -> Scheduler:
-    if name == "llmsched":
-        calibrator = BatchingAwareCalibrator(DecodingLatencyProfile(slope=settings.latency_slope))
-        return LLMSchedScheduler(profiler, config=settings.llmsched, calibrator=calibrator)
-    if name == "llmsched_wo_bn":
-        calibrator = BatchingAwareCalibrator(DecodingLatencyProfile(slope=settings.latency_slope))
-        config = replace(settings.llmsched, use_bn=False)
-        scheduler = LLMSchedScheduler(profiler, config=config, calibrator=calibrator)
-        scheduler.name = "llmsched_wo_bn"
-        return scheduler
-    if name == "llmsched_wo_uncertainty":
-        calibrator = BatchingAwareCalibrator(DecodingLatencyProfile(slope=settings.latency_slope))
-        config = replace(settings.llmsched, use_uncertainty=False)
-        scheduler = LLMSchedScheduler(profiler, config=config, calibrator=calibrator)
-        scheduler.name = "llmsched_wo_uncertainty"
-        return scheduler
-    if name == "llmsched_wo_calibration":
-        # Extension ablation: disable Eq. 2 by calibrating against a flat
-        # latency profile (batch size has no effect on the estimates).
-        scheduler = LLMSchedScheduler(
-            profiler,
-            config=settings.llmsched,
-            calibrator=BatchingAwareCalibrator(DecodingLatencyProfile(slope=0.0)),
-        )
-        scheduler.name = "llmsched_wo_calibration"
-        return scheduler
-    return create_scheduler(name, priors=priors)
-
-
 def run_single(
     scheduler_name: str,
     spec: WorkloadSpec,
@@ -261,68 +105,23 @@ def run_single(
     placement: Optional[PlacementPolicy] = None,
     async_config: Optional[AsyncConfig] = None,
 ) -> SimulationMetrics:
-    """Run one scheduler on one workload draw and return its metrics.
-
-    ``pools`` (a heterogeneous pool layout) overrides ``cluster_config``;
-    ``placement`` selects the placement policy (greedy first-fit default);
-    ``async_config`` runs the scheduler behind an asynchronous
-    decision-latency backend (default: synchronous, exactly as before).
-    """
-    settings = settings or ExperimentSettings()
-    applications = applications or default_applications()
-    priors = priors or build_priors(applications, settings)
-    profiler = profiler or build_profiler(applications, settings)
-    if pools is not None:
-        cluster = Cluster(pools=pools)
-    else:
-        cluster_config = cluster_config or size_cluster_for_workload(spec, applications, settings)
-        cluster = Cluster(cluster_config)
-
-    jobs = generate_workload(spec, applications=applications)
-    scheduler = _make_scheduler(scheduler_name, priors, profiler, settings)
-    engine = ensure_engine_protocol(
-        SimulationEngine(
-            jobs,
-            scheduler,
-            cluster=cluster,
-            workload_name=spec.workload_type.value,
-            placement=placement,
-            async_backend=(
-                AsyncSchedulerBackend(async_config) if async_config is not None else None
-            ),
-        )
+    """Deprecated: build a :class:`~repro.api.ScenarioSpec` and call
+    :func:`repro.api.run`.  Passing both ``cluster_config`` and ``pools``
+    raises ``ValueError`` (the cluster section owns that conflict check)."""
+    _warn_deprecated("run_single", "repro.api.run(ScenarioSpec(...))")
+    scenario = ScenarioSpec(
+        scheduler=SchedulerSection(name=scheduler_name),
+        workload=WorkloadSection.from_workload_spec(spec),
+        cluster=ClusterSection(
+            config=cluster_config, pools=tuple(pools) if pools is not None else None
+        ),
+        async_=AsyncSection.from_async_config(async_config),
+        settings=settings or ExperimentSettings(),
     )
-    return engine.run()
-
-
-def run_comparison(
-    spec: WorkloadSpec,
-    scheduler_names: Sequence[str],
-    applications: Optional[Mapping[str, ApplicationTemplate]] = None,
-    settings: Optional[ExperimentSettings] = None,
-    priors: Optional[ApplicationPriors] = None,
-    profiler: Optional[BayesianProfiler] = None,
-    cluster_config: Optional[ClusterConfig] = None,
-) -> ComparisonResult:
-    """Run several schedulers on the *identical* workload draw and cluster."""
-    settings = settings or ExperimentSettings()
-    applications = applications or default_applications()
-    priors = priors or build_priors(applications, settings)
-    profiler = profiler or build_profiler(applications, settings)
-    cluster_config = cluster_config or size_cluster_for_workload(spec, applications, settings)
-
-    metrics: Dict[str, SimulationMetrics] = {}
-    for name in scheduler_names:
-        metrics[name] = run_single(
-            name,
-            spec,
-            applications=applications,
-            settings=settings,
-            priors=priors,
-            profiler=profiler,
-            cluster_config=cluster_config,
-        )
-    return ComparisonResult(workload=spec, metrics=metrics)
+    return _api_run(
+        scenario, applications=applications, priors=priors, profiler=profiler,
+        placement=placement, async_config=async_config,
+    ).metrics
 
 
 def run_single_open_loop(
@@ -336,300 +135,72 @@ def run_single_open_loop(
     nominal_rate: Optional[float] = None,
     pools: Optional[Sequence[PoolSpec]] = None,
     placement: Optional[PlacementPolicy] = None,
-    autoscaler: Optional[ThresholdAutoscaler] = None,
+    autoscaler=None,
     async_config: Optional[AsyncConfig] = None,
 ) -> SimulationMetrics:
-    """Run one scheduler against a streamed (open-loop) arrival process.
-
-    Jobs are generated lazily from ``open_spec`` and admitted one at a time,
-    so the workload is never materialized.  Cluster sizing needs an arrival
-    rate; pass ``nominal_rate`` (or an explicit ``cluster_config`` /
-    ``pools`` layout) because a general arrival process has no single rate
-    attribute.  ``autoscaler`` resizes pools at scale events (diurnal runs);
-    ``placement`` selects the placement policy; ``async_config`` charges
-    decision latency through an asynchronous backend.
-    """
-    settings = settings or ExperimentSettings()
-    applications = applications or default_applications()
-    priors = priors or build_priors(applications, settings)
-    profiler = profiler or build_profiler(applications, settings)
-    if pools is not None:
-        cluster = Cluster(pools=pools)
-    else:
-        if cluster_config is None:
-            if nominal_rate is None:
-                rate = getattr(open_spec.process, "rate", None)
-                if rate is None:
-                    raise ValueError(
-                        "open-loop sizing needs nominal_rate (or cluster_config) for "
-                        f"{type(open_spec.process).__name__}"
-                    )
-                nominal_rate = float(rate)
-            names = open_spec.application_names or sorted(applications)
-            cluster_config = size_cluster(nominal_rate, names, applications, settings)
-        cluster = Cluster(cluster_config)
-
-    scheduler = _make_scheduler(scheduler_name, priors, profiler, settings)
-    engine = ensure_engine_protocol(
-        SimulationEngine(
-            open_spec.jobs(dict(applications)),
-            scheduler,
-            cluster=cluster,
-            workload_name=open_spec.name,
-            placement=placement,
-            autoscaler=autoscaler,
-            async_backend=(
-                AsyncSchedulerBackend(async_config) if async_config is not None else None
-            ),
-        )
+    """Deprecated: open-loop runs are ``ScenarioSpec`` workload sections with
+    ``mode="open"``; see :func:`repro.api.run`."""
+    _warn_deprecated("run_single_open_loop", "repro.api.run(ScenarioSpec(...))")
+    scenario = ScenarioSpec(
+        scheduler=SchedulerSection(name=scheduler_name),
+        workload=WorkloadSection.from_open_loop_spec(open_spec),
+        cluster=ClusterSection(
+            config=cluster_config,
+            pools=tuple(pools) if pools is not None else None,
+            nominal_rate=nominal_rate,
+        ),
+        async_=AsyncSection.from_async_config(async_config),
+        settings=settings or ExperimentSettings(),
     )
-    return engine.run()
+    return _api_run(
+        scenario, applications=applications, priors=priors, profiler=profiler,
+        placement=placement, autoscaler=autoscaler, async_config=async_config,
+    ).metrics
 
 
-# --------------------------------------------------------------------------- #
-# Parallel sweeps
-# --------------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class SweepCell:
-    """One scheduler × workload cell of a sweep grid (picklable).
-
-    ``cluster_config`` pins the cluster; when ``None`` the cell sizes its
-    own cluster from the spec's arrival rate (constant-load sweeps).  Pass
-    a fixed config to measure congestion on constant hardware instead.
-    ``pools`` (a tuple of :class:`~repro.simulator.pool.PoolSpec`) overrides
-    ``cluster_config`` with a heterogeneous layout, and
-    ``placement_policy`` names the placement policy for the cell (factory
-    names from :mod:`repro.simulator.placement`; None = greedy first-fit).
-    ``async_config`` runs the cell's scheduler behind an asynchronous
-    decision-latency backend (None = synchronous; the config and its
-    latency model are plain picklable objects, so cells still fan out
-    over worker processes).
-    """
-
-    scheduler_name: str
-    spec: WorkloadSpec
-    cluster_config: Optional[ClusterConfig] = None
-    pools: Optional[Tuple[PoolSpec, ...]] = None
-    placement_policy: Optional[str] = None
-    async_config: Optional[AsyncConfig] = None
-
-
-#: Per-worker-process cache: profiler fitting is the expensive part of a
-#: cell, and it only depends on the settings, so each worker builds it once.
-_WORKER_STATE: Dict[Tuple, tuple] = {}
-
-
-def _worker_state(settings: ExperimentSettings):
-    key = (settings.profile_jobs, settings.prior_samples, settings.profiler_seed)
-    if key not in _WORKER_STATE:
-        applications = default_applications()
-        priors = build_priors(applications, settings)
-        profiler = build_profiler(applications, settings)
-        _WORKER_STATE[key] = (applications, priors, profiler)
-    return _WORKER_STATE[key]
-
-
-def _run_cell(args: Tuple[SweepCell, ExperimentSettings]) -> Tuple[SweepCell, SimulationMetrics]:
-    cell, settings = args
-    applications, priors, profiler = _worker_state(settings)
-    placement = (
-        create_placement_policy(cell.placement_policy)
-        if cell.placement_policy is not None
-        else None
-    )
-    metrics = run_single(
-        cell.scheduler_name,
-        cell.spec,
-        applications=applications,
-        settings=settings,
-        priors=priors,
-        profiler=profiler,
-        cluster_config=cell.cluster_config,
-        pools=cell.pools,
-        placement=placement,
-        async_config=cell.async_config,
-    )
-    return cell, metrics
-
-
-def _map_cells(worker, payload: Sequence, processes: Optional[int]) -> List:
-    """Fan a picklable worker over payload items via worker processes.
-
-    ``processes=None`` uses one worker per CPU (capped at the item count);
-    ``processes=1`` runs serially in-process, which is also the fallback
-    when the platform cannot fork/spawn workers.
-    """
-    if processes is None:
-        processes = min(len(payload), multiprocessing.cpu_count())
-    if processes <= 1:
-        return [worker(item) for item in payload]
-    try:
-        with multiprocessing.Pool(processes=processes) as pool:
-            return pool.map(worker, payload)
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed platforms
-        return [worker(item) for item in payload]
-
-
-def run_cells_parallel(
-    cells: Sequence[SweepCell],
-    settings: Optional[ExperimentSettings] = None,
-    processes: Optional[int] = None,
-) -> List[Tuple[SweepCell, SimulationMetrics]]:
-    """Run scheduler × workload cells, fanned out over worker processes
-    (see :func:`_map_cells` for the process-count and fallback rules)."""
-    settings = settings or ExperimentSettings()
-    if not cells:
-        return []
-    return _map_cells(_run_cell, [(cell, settings) for cell in cells], processes)
-
-
-def sweep_arrival_rates(
-    arrival_rates: Sequence[float],
+def run_comparison(
+    spec: WorkloadSpec,
     scheduler_names: Sequence[str],
-    base_spec: Optional[WorkloadSpec] = None,
+    applications: Optional[Mapping[str, ApplicationTemplate]] = None,
     settings: Optional[ExperimentSettings] = None,
-    processes: Optional[int] = None,
+    priors: Optional[ApplicationPriors] = None,
+    profiler: Optional[BayesianProfiler] = None,
     cluster_config: Optional[ClusterConfig] = None,
-) -> Dict[float, ComparisonResult]:
-    """Compare schedulers across a grid of arrival rates, in parallel.
-
-    Every (scheduler, rate) cell is an independent simulation; within one
-    rate all schedulers see the identical workload draw and cluster sizing,
-    so the per-rate :class:`ComparisonResult` is a fair comparison.  By
-    default each rate sizes its own cluster (constant load, the paper's
-    methodology); pass ``cluster_config`` to pin the hardware and measure
-    congestion as the rate grows.
-    """
-    if not arrival_rates:
-        raise ValueError("arrival_rates must not be empty")
-    if not scheduler_names:
-        raise ValueError("scheduler_names must not be empty")
-    base_spec = base_spec or WorkloadSpec()
-    cells = [
-        SweepCell(name, replace(base_spec, arrival_rate=float(rate)), cluster_config)
-        for rate in arrival_rates
-        for name in scheduler_names
-    ]
-    results = run_cells_parallel(cells, settings=settings, processes=processes)
-    by_rate: Dict[float, ComparisonResult] = {}
-    for cell, metrics in results:
-        rate = cell.spec.arrival_rate
-        if rate not in by_rate:
-            by_rate[rate] = ComparisonResult(workload=cell.spec, metrics={})
-        by_rate[rate].metrics[cell.scheduler_name] = metrics
-    return by_rate
+) -> ComparisonResult:
+    """Deprecated: see :func:`repro.api.compare`."""
+    _warn_deprecated("run_comparison", "repro.api.compare")
+    scenario = ScenarioSpec(
+        workload=WorkloadSection.from_workload_spec(spec),
+        cluster=ClusterSection(config=cluster_config),
+        settings=settings or ExperimentSettings(),
+    )
+    return _api_compare(
+        scenario, scheduler_names, applications=applications, priors=priors, profiler=profiler
+    )
 
 
-def sweep_decision_latency(
-    latencies: Sequence[float],
-    scheduler_names: Sequence[str],
-    base_spec: Optional[WorkloadSpec] = None,
-    settings: Optional[ExperimentSettings] = None,
-    processes: Optional[int] = None,
-    cluster_config: Optional[ClusterConfig] = None,
-    pipelined: bool = False,
-) -> Dict[float, ComparisonResult]:
-    """Compare schedulers across a grid of decision latencies, in parallel.
-
-    Every (scheduler, latency) cell replays the *identical* workload draw on
-    the identical cluster; only the charged decision latency differs, so the
-    per-latency :class:`ComparisonResult` isolates how much of a scheduler's
-    advantage survives control-plane delay.  Latency 0 in non-pipelined mode
-    is the synchronous engine bit for bit, so the curve is anchored at
-    today's numbers.  ``pipelined`` lets decisions overlap (next snapshot
-    taken while the previous decision is in flight).
-    """
-    if not latencies:
-        raise ValueError("latencies must not be empty")
-    if not scheduler_names:
-        raise ValueError("scheduler_names must not be empty")
-    if any(latency < 0 for latency in latencies):
-        raise ValueError("decision latencies must be >= 0")
-    base_spec = base_spec or WorkloadSpec()
-    if cluster_config is None:
-        settings = settings or ExperimentSettings()
-        cluster_config = size_cluster_for_workload(
-            base_spec, default_applications(), settings
-        )
-    cells = [
-        SweepCell(
-            name,
-            base_spec,
-            cluster_config,
-            async_config=AsyncConfig(latency=float(latency), pipelined=pipelined),
-        )
-        for latency in latencies
-        for name in scheduler_names
-    ]
-    results = run_cells_parallel(cells, settings=settings, processes=processes)
-    by_latency: Dict[float, ComparisonResult] = {}
-    for cell, metrics in results:
-        latency = float(cell.async_config.latency)
-        if latency not in by_latency:
-            by_latency[latency] = ComparisonResult(workload=cell.spec, metrics={})
-        by_latency[latency].metrics[cell.scheduler_name] = metrics
-    return by_latency
-
-
-def sweep_placement_policies(
-    policy_names: Sequence[str],
+def run_autoscaled_diurnal(
+    scheduler_name: str,
+    open_spec: OpenLoopSpec,
     pools: Sequence[PoolSpec],
-    scheduler_name: str = "fcfs",
-    base_spec: Optional[WorkloadSpec] = None,
+    autoscaler_config: Optional[AutoscalerConfig] = None,
+    applications: Optional[Mapping[str, ApplicationTemplate]] = None,
     settings: Optional[ExperimentSettings] = None,
-    processes: Optional[int] = None,
-) -> Dict[str, SimulationMetrics]:
-    """Compare placement policies on one heterogeneous cluster layout.
-
-    Every policy sees the identical workload draw, scheduler and pool
-    layout, so differences isolate the placement decision.  Policies only
-    diverge on clusters with more than one pool per task type — pass a
-    heterogeneous ``pools`` layout.
-    """
-    if not policy_names:
-        raise ValueError("policy_names must not be empty")
-    base_spec = base_spec or WorkloadSpec()
-    cells = [
-        SweepCell(scheduler_name, base_spec, pools=tuple(pools), placement_policy=name)
-        for name in policy_names
-    ]
-    results = run_cells_parallel(cells, settings=settings, processes=processes)
-    return {cell.placement_policy: metrics for cell, metrics in results}
-
-
-# --------------------------------------------------------------------------- #
-# Federation
-# --------------------------------------------------------------------------- #
-def split_cluster_config(config: ClusterConfig, num_shards: int) -> List[ClusterConfig]:
-    """Divide one total cluster sizing into ``num_shards`` shard sizings.
-
-    The executor totals are preserved (early shards take the remainder),
-    so a shard-count sweep compares routing and isolation on *identical
-    total hardware*.  Every shard needs at least one executor of each
-    type; shard counts beyond that are rejected rather than silently
-    growing the fleet.
-    """
-    if num_shards < 1:
-        raise ValueError("num_shards must be >= 1")
-    if config.num_regular_executors < num_shards or config.num_llm_executors < num_shards:
-        raise ValueError(
-            f"cannot split {config.num_regular_executors} regular / "
-            f"{config.num_llm_executors} LLM executors across {num_shards} shards "
-            "(every shard needs at least one of each)"
-        )
-    regular, reg_rem = divmod(config.num_regular_executors, num_shards)
-    llm, llm_rem = divmod(config.num_llm_executors, num_shards)
-    configs: List[ClusterConfig] = []
-    for index in range(num_shards):
-        configs.append(
-            ClusterConfig(
-                num_regular_executors=regular + (1 if index < reg_rem else 0),
-                num_llm_executors=llm + (1 if index < llm_rem else 0),
-                max_batch_size=config.max_batch_size,
-                latency_slope=config.latency_slope,
-            )
-        )
-    return configs
+    priors: Optional[ApplicationPriors] = None,
+    profiler: Optional[BayesianProfiler] = None,
+) -> SimulationMetrics:
+    """Deprecated: autoscaled runs are specs with an ``autoscaler`` section."""
+    _warn_deprecated("run_autoscaled_diurnal", "repro.api.run(ScenarioSpec(...))")
+    scenario = ScenarioSpec(
+        scheduler=SchedulerSection(name=scheduler_name),
+        workload=WorkloadSection.from_open_loop_spec(open_spec),
+        cluster=ClusterSection(pools=tuple(pools)),
+        autoscaler=autoscaler_config or AutoscalerConfig(),
+        settings=settings or ExperimentSettings(),
+    )
+    return _api_run(
+        scenario, applications=applications, priors=priors, profiler=profiler
+    ).metrics
 
 
 def run_federated(
@@ -645,57 +216,56 @@ def run_federated(
     cluster_config: Optional[ClusterConfig] = None,
     nominal_rate: Optional[float] = None,
     async_config: Optional[AsyncConfig] = None,
-) -> FederationMetrics:
-    """Run one scheduler on a sharded fleet fed by an open-loop stream.
+) -> Union[SimulationMetrics, FederationMetrics]:
+    """Deprecated: federated fleets are cluster sections with
+    ``num_shards > 1``; router instances pass through :func:`repro.api.run`'s
+    ``router`` override.
 
-    ``cluster_config`` sizes the *total* fleet and is split evenly across
-    the shards (see :func:`split_cluster_config`); when omitted it is
-    derived from ``nominal_rate`` exactly like :func:`run_single_open_loop`.
-    Each shard gets its own scheduler instance from the ordinary factory,
-    ``migration`` enables cross-shard checkpoint rebalancing, and
-    ``async_config`` gives every shard its own asynchronous
-    decision-latency backend.
+    Behavior change vs the pre-spec implementation: ``num_shards=1`` now
+    runs the plain single-cluster engine (bit-identical trace, but
+    :class:`SimulationMetrics` instead of federation metrics, and
+    ``migration``/``router`` do not apply)."""
+    _warn_deprecated("run_federated", "repro.api.run(ScenarioSpec(...))")
+    by_name = isinstance(router, str)
+    scenario = ScenarioSpec(
+        scheduler=SchedulerSection(name=scheduler_name),
+        workload=WorkloadSection.from_open_loop_spec(open_spec),
+        cluster=ClusterSection(
+            config=cluster_config, num_shards=num_shards,
+            router=router if by_name else "least_loaded",
+            migration=migration, nominal_rate=nominal_rate,
+        ),
+        async_=AsyncSection.from_async_config(async_config),
+        settings=settings or ExperimentSettings(),
+    )
+    return _api_run(
+        scenario, applications=applications, priors=priors, profiler=profiler,
+        router=None if by_name else router, async_config=async_config,
+    ).metrics
+
+
+# --------------------------------------------------------------------------- #
+# Parallel sweeps
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepCell:
+    """One scheduler × workload cell of a sweep grid (picklable, legacy).
+
+    New code expresses cells as override axes over a base spec; see
+    :func:`repro.api.run_grid`.
     """
-    settings = settings or ExperimentSettings()
-    applications = applications or default_applications()
-    priors = priors or build_priors(applications, settings)
-    profiler = profiler or build_profiler(applications, settings)
-    if cluster_config is None:
-        if nominal_rate is None:
-            rate = getattr(open_spec.process, "rate", None)
-            if rate is None:
-                raise ValueError(
-                    "federated sizing needs nominal_rate (or cluster_config) for "
-                    f"{type(open_spec.process).__name__}"
-                )
-            nominal_rate = float(rate)
-        names = open_spec.application_names or sorted(applications)
-        cluster_config = size_cluster(nominal_rate, names, applications, settings)
-    shard_configs = split_cluster_config(cluster_config, num_shards)
-    fleet = FederatedCluster(
-        [(f"shard-{i}", Cluster(cfg)) for i, cfg in enumerate(shard_configs)],
-        router=create_job_router(router) if isinstance(router, str) else router,
-    )
-    engine = ensure_engine_protocol(
-        FederatedSimulationEngine(
-            open_spec.jobs(dict(applications)),
-            lambda: _make_scheduler(scheduler_name, priors, profiler, settings),
-            fleet,
-            workload_name=open_spec.name,
-            migration=migration,
-            async_backend_factory=(
-                (lambda: AsyncSchedulerBackend(async_config))
-                if async_config is not None
-                else None
-            ),
-        )
-    )
-    return engine.run()
+
+    scheduler_name: str
+    spec: WorkloadSpec
+    cluster_config: Optional[ClusterConfig] = None
+    pools: Optional[Tuple[PoolSpec, ...]] = None
+    placement_policy: Optional[str] = None
+    async_config: Optional[AsyncConfig] = None
 
 
 @dataclass(frozen=True)
 class FederatedSweepCell:
-    """One shard-count cell of a federation sweep (picklable)."""
+    """One shard-count cell of a federation sweep (picklable, legacy)."""
 
     num_shards: int
     scheduler_name: str
@@ -705,24 +275,130 @@ class FederatedSweepCell:
     migration: Optional[MigrationConfig] = None
 
 
-def _run_federated_cell(
-    args: Tuple[FederatedSweepCell, ExperimentSettings],
-) -> Tuple[FederatedSweepCell, FederationMetrics]:
-    cell, settings = args
-    applications, priors, profiler = _worker_state(settings)
-    metrics = run_federated(
-        cell.scheduler_name,
-        cell.open_spec,
-        num_shards=cell.num_shards,
-        router=cell.router_name,
-        migration=cell.migration,
-        applications=applications,
+def _cell_spec(cell: SweepCell, settings: ExperimentSettings) -> ScenarioSpec:
+    async_ = AsyncSection.from_async_config(cell.async_config)
+    if cell.async_config is not None and async_ is None:
+        raise ValueError(
+            "SweepCell async_config carries a latency model the spec schema cannot "
+            "express; call repro.api.run directly with the async_config override"
+        )
+    return ScenarioSpec(
+        scheduler=SchedulerSection(name=cell.scheduler_name),
+        workload=WorkloadSection.from_workload_spec(cell.spec),
+        cluster=ClusterSection(config=cell.cluster_config, pools=cell.pools),
+        placement=(
+            PlacementSection(cell.placement_policy) if cell.placement_policy else None
+        ),
+        async_=async_,
         settings=settings,
-        priors=priors,
-        profiler=profiler,
-        cluster_config=cell.cluster_config,
     )
-    return cell, metrics
+
+
+def run_cells_parallel(
+    cells: Sequence[SweepCell],
+    settings: Optional[ExperimentSettings] = None,
+    processes: Optional[int] = None,
+) -> List[Tuple[SweepCell, SimulationMetrics]]:
+    """Deprecated: see :func:`repro.api.run_specs` / :func:`repro.api.run_grid`."""
+    _warn_deprecated("run_cells_parallel", "repro.api.run_grid / repro.api.run_specs")
+    settings = settings or ExperimentSettings()
+    results = _api_run_specs(
+        [_cell_spec(cell, settings) for cell in cells], processes=processes
+    )
+    return [(cell, result.metrics) for cell, result in zip(cells, results)]
+
+
+def sweep_arrival_rates(
+    arrival_rates: Sequence[float],
+    scheduler_names: Sequence[str],
+    base_spec: Optional[WorkloadSpec] = None,
+    settings: Optional[ExperimentSettings] = None,
+    processes: Optional[int] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+) -> Dict[float, ComparisonResult]:
+    """Deprecated: an arrival-rate sweep is the override axis
+    ``{"workload.arrival_rate": rates, "scheduler.name": names}``."""
+    _warn_deprecated("sweep_arrival_rates", 'repro.api.run_grid(..., {"workload.arrival_rate": ...})')
+    base_spec = base_spec or WorkloadSpec()
+    base = ScenarioSpec(
+        workload=WorkloadSection.from_workload_spec(base_spec),
+        cluster=ClusterSection(config=cluster_config),
+        settings=settings or ExperimentSettings(),
+    )
+    rows = _api_run_grid(
+        base,
+        {"workload.arrival_rate": [float(r) for r in arrival_rates],
+         "scheduler.name": list(scheduler_names)},
+        processes=processes,
+    )
+    by_rate: Dict[float, ComparisonResult] = {}
+    for overrides, result in rows:
+        rate = overrides["workload.arrival_rate"]
+        comparison = by_rate.setdefault(
+            rate, ComparisonResult(workload=replace(base_spec, arrival_rate=rate), metrics={})
+        )
+        comparison.metrics[overrides["scheduler.name"]] = result.metrics
+    return by_rate
+
+
+def sweep_decision_latency(
+    latencies: Sequence[float],
+    scheduler_names: Sequence[str],
+    base_spec: Optional[WorkloadSpec] = None,
+    settings: Optional[ExperimentSettings] = None,
+    processes: Optional[int] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    pipelined: bool = False,
+) -> Dict[float, ComparisonResult]:
+    """Deprecated: a decision-latency sweep is the override axis
+    ``{"async.latency": latencies, "scheduler.name": names}`` over a spec
+    with a pinned cluster config."""
+    _warn_deprecated("sweep_decision_latency", 'repro.api.run_grid(..., {"async.latency": ...})')
+    base_spec = base_spec or WorkloadSpec()
+    settings = settings or ExperimentSettings()
+    if cluster_config is None:
+        cluster_config = size_cluster_for_workload(base_spec, default_applications(), settings)
+    base = ScenarioSpec(
+        workload=WorkloadSection.from_workload_spec(base_spec),
+        cluster=ClusterSection(config=cluster_config),
+        async_=AsyncSection(pipelined=pipelined),
+        settings=settings,
+    )
+    rows = _api_run_grid(
+        base,
+        {"async.latency": [float(latency) for latency in latencies],
+         "scheduler.name": list(scheduler_names)},
+        processes=processes,
+    )
+    by_latency: Dict[float, ComparisonResult] = {}
+    for overrides, result in rows:
+        latency = overrides["async.latency"]
+        comparison = by_latency.setdefault(
+            latency, ComparisonResult(workload=base_spec, metrics={})
+        )
+        comparison.metrics[overrides["scheduler.name"]] = result.metrics
+    return by_latency
+
+
+def sweep_placement_policies(
+    policy_names: Sequence[str],
+    pools: Sequence[PoolSpec],
+    scheduler_name: str = "fcfs",
+    base_spec: Optional[WorkloadSpec] = None,
+    settings: Optional[ExperimentSettings] = None,
+    processes: Optional[int] = None,
+) -> Dict[str, SimulationMetrics]:
+    """Deprecated: a placement sweep is the axis ``{"placement.name": names}``."""
+    _warn_deprecated("sweep_placement_policies", 'repro.api.run_grid(..., {"placement.name": ...})')
+    base = ScenarioSpec(
+        scheduler=SchedulerSection(name=scheduler_name),
+        workload=WorkloadSection.from_workload_spec(base_spec or WorkloadSpec()),
+        cluster=ClusterSection(pools=tuple(pools)),
+        placement=PlacementSection(),
+        settings=settings or ExperimentSettings(),
+    )
+    rows = _api_run_grid(base, {"placement.name": list(policy_names)}, processes=processes)
+    return {overrides["placement.name"]: result.metrics for overrides, result in rows}
 
 
 def sweep_shard_counts(
@@ -734,57 +410,30 @@ def sweep_shard_counts(
     migration: Optional[MigrationConfig] = None,
     settings: Optional[ExperimentSettings] = None,
     processes: Optional[int] = None,
-) -> Dict[int, FederationMetrics]:
-    """Run the identical stream against fleets of varying shard counts.
+) -> Dict[int, Union[SimulationMetrics, FederationMetrics]]:
+    """Deprecated: a shard sweep is the axis ``{"cluster.num_shards": counts}``.
 
-    Every cell sees the same total hardware (``cluster_config`` split per
-    :func:`split_cluster_config`), the same arrival stream and the same
-    scheduler, so differences isolate the sharding itself.  Cells fan out
-    over worker processes exactly like :func:`run_cells_parallel`.
-    """
+    Shard count 1 now runs the plain single-cluster engine (bit-identical
+    trace, :class:`SimulationMetrics` instead of federation metrics)."""
+    _warn_deprecated("sweep_shard_counts", 'repro.api.run_grid(..., {"cluster.num_shards": ...})')
     if not shard_counts:
         raise ValueError("shard_counts must not be empty")
-    settings = settings or ExperimentSettings()
-    cells = [
-        FederatedSweepCell(
-            num_shards=int(count),
-            scheduler_name=scheduler_name,
-            open_spec=open_spec,
-            cluster_config=cluster_config,
-            router_name=router,
-            migration=migration,
+    base = ScenarioSpec(
+        scheduler=SchedulerSection(name=scheduler_name),
+        workload=WorkloadSection.from_open_loop_spec(open_spec),
+        cluster=ClusterSection(
+            config=cluster_config, num_shards=2, router=router, migration=migration
+        ),
+        settings=settings or ExperimentSettings(),
+    )
+    overrides = [
+        dict(
+            {"cluster.num_shards": int(count)},
+            **({"cluster.migration": None} if int(count) == 1 else {}),
         )
         for count in shard_counts
     ]
-    results = _map_cells(
-        _run_federated_cell, [(cell, settings) for cell in cells], processes
+    results = _api_run_specs(
+        [with_overrides(base, cell) for cell in overrides], processes=processes
     )
-    return {cell.num_shards: metrics for cell, metrics in results}
-
-
-def run_autoscaled_diurnal(
-    scheduler_name: str,
-    open_spec: OpenLoopSpec,
-    pools: Sequence[PoolSpec],
-    autoscaler_config: Optional[AutoscalerConfig] = None,
-    applications: Optional[Mapping[str, ApplicationTemplate]] = None,
-    settings: Optional[ExperimentSettings] = None,
-    priors: Optional[ApplicationPriors] = None,
-    profiler: Optional[BayesianProfiler] = None,
-) -> SimulationMetrics:
-    """Open-loop run with pool autoscaling enabled (diurnal-load cell).
-
-    Thin wrapper over :func:`run_single_open_loop` that builds the
-    :class:`~repro.simulator.autoscaler.ThresholdAutoscaler`; the returned
-    metrics carry the applied ``scale_events``.
-    """
-    return run_single_open_loop(
-        scheduler_name,
-        open_spec,
-        applications=applications,
-        settings=settings,
-        priors=priors,
-        profiler=profiler,
-        pools=pools,
-        autoscaler=ThresholdAutoscaler(autoscaler_config or AutoscalerConfig()),
-    )
+    return {int(c): result.metrics for c, result in zip(shard_counts, results)}

@@ -1,8 +1,18 @@
-"""Name-based scheduler construction used by the experiment harness."""
+"""Name-based scheduler construction: the single scheduler factory.
+
+Every part of the harness — the declarative :mod:`repro.api` front door,
+the legacy experiment runner shims, the golden-trace tests — builds
+schedulers through :func:`create_scheduler`.  The factory accepts the
+offline artifacts a scheduler may need (``priors`` for the duration-based
+baselines, a fitted ``profiler`` plus experiment ``settings`` for the
+LLMSched family, including its three ablation variants) so no caller has
+to special-case construction.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import replace
+from typing import TYPE_CHECKING, FrozenSet, List, Optional
 
 from repro.schedulers.argus import ArgusScheduler
 from repro.schedulers.base import Scheduler
@@ -15,64 +25,201 @@ from repro.schedulers.priors import ApplicationPriors
 from repro.schedulers.sjf import SjfScheduler
 from repro.schedulers.srtf import SrtfScheduler
 
-__all__ = ["available_schedulers", "create_scheduler"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.api.prep import ExperimentSettings
+    from repro.core.profiler import BayesianProfiler
+
+__all__ = [
+    "available_schedulers",
+    "create_scheduler",
+    "scheduler_requirements",
+    "check_scheduler_kwargs",
+    "LLMSCHED_VARIANTS",
+]
 
 #: Baseline names in the order the paper's figures list them.
 _BASELINES = ["fcfs", "sjf", "fair", "argus", "decima", "carbyne"]
 
+#: LLMSched plus its ablation variants (Fig. 10); all need a fitted profiler.
+LLMSCHED_VARIANTS = (
+    "llmsched",
+    "llmsched_wo_bn",
+    "llmsched_wo_uncertainty",
+    "llmsched_wo_calibration",
+)
+
+#: Schedulers that estimate durations from per-application priors.
+_NEEDS_PRIORS = frozenset({"sjf", "srtf", "srtf_preempt", "carbyne", "decima"})
+
+#: Constructor classes per baseline name (kwargs validation + forwarding).
+_SCHEDULER_CLASSES = {
+    "fcfs": FcfsScheduler,
+    "fair": FairScheduler,
+    "sjf": SjfScheduler,
+    "srtf": SrtfScheduler,
+    "srtf_preempt": PreemptiveSrtfScheduler,
+    "argus": ArgusScheduler,
+    "carbyne": CarbyneScheduler,
+    "decima": DecimaScheduler,
+}
+
 
 def available_schedulers(
-    include_llmsched: bool = True, include_preemptive: bool = False
+    include_llmsched: bool = True,
+    include_preemptive: bool = False,
+    include_ablations: bool = False,
 ) -> List[str]:
     """Names accepted by :func:`create_scheduler`.
 
     ``include_preemptive`` is off by default so harness code that sweeps
     "the paper's schedulers" (all non-preemptive) is unaffected by the
-    preemptive extension.
+    preemptive extension; ``include_ablations`` appends the LLMSched
+    ablation variants of Fig. 10.
     """
     names = list(_BASELINES) + ["srtf"]
     if include_llmsched:
         names.append("llmsched")
     if include_preemptive:
         names.append("srtf_preempt")
+    if include_llmsched and include_ablations:
+        names.extend(v for v in LLMSCHED_VARIANTS if v != "llmsched")
     return names
+
+
+def scheduler_requirements(name: str) -> FrozenSet[str]:
+    """Which offline artifacts a scheduler needs: ``priors``, ``profiler``.
+
+    Unknown names raise the same actionable error as :func:`create_scheduler`
+    so validation can happen before any expensive offline preparation.
+    """
+    key = name.lower()
+    if key in _NEEDS_PRIORS:
+        return frozenset({"priors"})
+    if key in LLMSCHED_VARIANTS:
+        return frozenset({"profiler"})
+    if key in {"fcfs", "fair", "argus"}:
+        return frozenset()
+    raise ValueError(
+        f"unknown scheduler {name!r}; available: "
+        f"{available_schedulers(include_preemptive=True, include_ablations=True)}"
+    )
+
+
+def check_scheduler_kwargs(name: str, kwargs) -> None:
+    """Reject kwargs the named scheduler cannot accept, with the valid set.
+
+    For the LLMSched family the kwargs override
+    :class:`~repro.core.llmsched.LLMSchedConfig` fields; for the baselines
+    they must match constructor parameters.  Called by the declarative
+    spec layer so a typo fails at validation time (``repro validate``),
+    not after the expensive profiler fit.
+    """
+    if not kwargs:
+        scheduler_requirements(name)
+        return
+    key = name.lower()
+    if key in LLMSCHED_VARIANTS:
+        import dataclasses
+
+        from repro.core.llmsched import LLMSchedConfig
+
+        valid = {f.name for f in dataclasses.fields(LLMSchedConfig)}
+    else:
+        cls = _SCHEDULER_CLASSES.get(key)
+        if cls is None:
+            scheduler_requirements(key)  # raises the unknown-scheduler error
+            return
+        import inspect
+
+        # ``priors`` / ``policy`` are supplied by create_scheduler itself.
+        valid = {
+            p
+            for p in inspect.signature(cls.__init__).parameters
+            if p not in ("self", "priors", "policy")
+        }
+    unknown = sorted(set(kwargs) - valid)
+    if unknown:
+        raise ValueError(
+            f"scheduler {name!r} does not accept kwargs {unknown}; valid: {sorted(valid)}"
+        )
 
 
 def create_scheduler(
     name: str,
     priors: Optional[ApplicationPriors] = None,
+    profiler: Optional["BayesianProfiler"] = None,
+    settings: Optional["ExperimentSettings"] = None,
     decima_policy: Optional[DecimaPolicy] = None,
     **kwargs,
 ) -> Scheduler:
     """Instantiate a scheduler by name.
 
-    ``llmsched`` requires the profiler and configuration arguments of
-    :class:`repro.core.llmsched.LLMSchedScheduler`, which are passed through
-    ``kwargs``; the duration-based baselines require ``priors``.
+    The duration-based baselines require ``priors``.  The LLMSched family
+    (``llmsched`` and the ``llmsched_wo_*`` ablations) requires a fitted
+    ``profiler``; ``settings`` (an :class:`~repro.api.prep.ExperimentSettings`)
+    supplies the Algorithm 1 config and the latency-profile slope used by the
+    batching-aware calibrator, defaulting to the paper's values.  For
+    backwards compatibility, ``create_scheduler("llmsched", **kwargs)``
+    without a profiler forwards ``kwargs`` verbatim to
+    :class:`~repro.core.llmsched.LLMSchedScheduler`.
     """
     key = name.lower()
     if key == "fcfs":
-        return FcfsScheduler()
+        return FcfsScheduler(**kwargs)
     if key == "fair":
-        return FairScheduler()
+        return FairScheduler(**kwargs)
     if key == "sjf":
-        return SjfScheduler(_require_priors(key, priors))
+        return SjfScheduler(_require_priors(key, priors), **kwargs)
     if key == "srtf":
-        return SrtfScheduler(priors=_require_priors(key, priors))
+        return SrtfScheduler(priors=_require_priors(key, priors), **kwargs)
     if key == "srtf_preempt":
-        return PreemptiveSrtfScheduler(priors=_require_priors(key, priors))
+        return PreemptiveSrtfScheduler(priors=_require_priors(key, priors), **kwargs)
     if key == "argus":
-        return ArgusScheduler()
+        return ArgusScheduler(**kwargs)
     if key == "carbyne":
-        return CarbyneScheduler(_require_priors(key, priors))
+        return CarbyneScheduler(_require_priors(key, priors), **kwargs)
     if key == "decima":
-        return DecimaScheduler(_require_priors(key, priors), policy=decima_policy)
-    if key == "llmsched":
-        # Imported lazily to avoid a circular import (core depends on schedulers).
-        from repro.core.llmsched import LLMSchedScheduler
+        return DecimaScheduler(_require_priors(key, priors), policy=decima_policy, **kwargs)
+    if key in LLMSCHED_VARIANTS:
+        return _create_llmsched(key, profiler, settings, **kwargs)
+    raise ValueError(
+        f"unknown scheduler {name!r}; available: "
+        f"{available_schedulers(include_preemptive=True, include_ablations=True)}"
+    )
 
-        return LLMSchedScheduler(**kwargs)
-    raise ValueError(f"unknown scheduler {name!r}; available: {available_schedulers()}")
+
+def _create_llmsched(key: str, profiler, settings, **kwargs) -> Scheduler:
+    # Imported lazily to avoid a circular import (core depends on schedulers).
+    from repro.core.calibration import BatchingAwareCalibrator
+    from repro.core.llmsched import LLMSchedConfig, LLMSchedScheduler
+    from repro.simulator.latency import DecodingLatencyProfile
+
+    if profiler is None:
+        if key == "llmsched" and kwargs:
+            return LLMSchedScheduler(**kwargs)
+        raise ValueError(
+            f"scheduler {key!r} requires a fitted profiler "
+            "(see repro.api.prep.build_profiler)"
+        )
+    config = settings.llmsched if settings is not None else LLMSchedConfig()
+    if kwargs:
+        config = replace(config, **kwargs)
+    slope = settings.latency_slope if settings is not None else 0.06
+    if key == "llmsched_wo_bn":
+        config = replace(config, use_bn=False)
+    elif key == "llmsched_wo_uncertainty":
+        config = replace(config, use_uncertainty=False)
+    # Extension ablation: disable Eq. 2 by calibrating against a flat latency
+    # profile (batch size has no effect on the estimates).
+    calibrator_slope = 0.0 if key == "llmsched_wo_calibration" else slope
+    scheduler = LLMSchedScheduler(
+        profiler,
+        config=config,
+        calibrator=BatchingAwareCalibrator(DecodingLatencyProfile(slope=calibrator_slope)),
+    )
+    if key != "llmsched":
+        scheduler.name = key
+    return scheduler
 
 
 def _require_priors(name: str, priors: Optional[ApplicationPriors]) -> ApplicationPriors:

@@ -1,0 +1,110 @@
+"""CLI tests: ``python -m repro`` run / grid / validate / list-schedulers."""
+
+import json
+
+import pytest
+
+from repro.api import ClusterSection, ExperimentSettings, ScenarioSpec, WorkloadSection
+from repro.api.cli import main
+from repro.simulator.cluster import ClusterConfig
+
+TINY = ExperimentSettings(profile_jobs=30, prior_samples=15)
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    spec = ScenarioSpec(
+        workload=WorkloadSection.closed_loop("mixed", num_jobs=6, arrival_rate=1.2, seed=7),
+        cluster=ClusterSection(
+            config=ClusterConfig(num_regular_executors=3, num_llm_executors=2, max_batch_size=4)
+        ),
+        settings=TINY,
+    )
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    return path
+
+
+class TestRun:
+    def test_run_prints_summary(self, spec_file, capsys):
+        assert main(["run", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fcfs" in out and "avg JCT" in out
+
+    def test_run_writes_result_json(self, spec_file, tmp_path, capsys):
+        out_path = tmp_path / "result.json"
+        assert main(["run", str(spec_file), "--output", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["metrics"]["num_jobs"] == 6
+        assert payload["spec"]["scheduler"]["name"] == "fcfs"
+
+    def test_run_missing_file_fails(self, capsys):
+        assert main(["run", "/does/not/exist.json"]) == 1
+        assert "cannot read spec file" in capsys.readouterr().err
+
+
+class TestGrid:
+    def test_grid_runs_axes(self, spec_file, tmp_path, capsys):
+        out_path = tmp_path / "grid.json"
+        code = main(
+            [
+                "grid",
+                str(spec_file),
+                "--axis",
+                "scheduler.name=fcfs,fair",
+                "--processes",
+                "1",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        rows = json.loads(out_path.read_text())
+        assert [row["overrides"]["scheduler.name"] for row in rows] == ["fcfs", "fair"]
+        assert all(row["metrics"]["num_jobs"] == 6 for row in rows)
+
+    def test_grid_requires_axes(self, spec_file, capsys):
+        assert main(["grid", str(spec_file)]) == 1
+        assert "--axis" in capsys.readouterr().err
+
+    def test_grid_bad_axis_syntax(self, spec_file, capsys):
+        assert main(["grid", str(spec_file), "--axis", "nonsense"]) == 1
+        assert "invalid --axis" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_validate_ok(self, spec_file, capsys):
+        assert main(["validate", str(spec_file)]) == 0
+        assert "ok (fcfs, closed-loop, 1 shard(s))" in capsys.readouterr().out
+
+    def test_validate_reports_actionable_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"scheduler": {"name": "warp-speed"}}))
+        assert main(["validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown scheduler" in err and "fcfs" in err
+
+    def test_validate_catches_section_conflicts(self, tmp_path, capsys):
+        bad = tmp_path / "conflict.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "workload": {"mode": "closed"},
+                    "cluster": {
+                        "config": {"num_regular_executors": 2, "num_llm_executors": 1},
+                        "pools": [{"name": "cpu", "task_type": "regular", "num_executors": 2}],
+                    },
+                }
+            )
+        )
+        assert main(["validate", str(bad)]) == 1
+        assert "not both" in capsys.readouterr().err
+
+
+class TestListSchedulers:
+    def test_lists_everything(self, capsys):
+        assert main(["list-schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fcfs", "llmsched", "srtf_preempt", "llmsched_wo_bn"):
+            assert name in out
+        assert "placement policies:" in out and "job routers:" in out

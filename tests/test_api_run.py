@@ -1,0 +1,393 @@
+"""Dispatch tests: ``repro.api.run`` is bit-identical to the legacy paths.
+
+The headline test replays every golden trace (all 8 registered schedulers)
+through the declarative front door and compares the per-job JCTs and the
+makespan **exactly** against ``tests/golden/`` — proving the API redesign
+changed zero simulation behavior.  The remaining tests pin the legacy-shim
+equivalences (single, open-loop, federated, sweeps), the uniform
+:class:`~repro.api.Result` schema, and the ISSUE 5 bugfix: conflicting
+``cluster_config`` + ``pools`` arguments now raise instead of silently
+preferring pools.
+"""
+
+import json
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.api import (
+    AsyncSection,
+    ClusterSection,
+    ExperimentSettings,
+    PlacementSection,
+    ScenarioSpec,
+    SchedulerSection,
+    WorkloadSection,
+)
+from repro.core.llmsched import LLMSchedConfig
+from repro.dag.task import TaskType
+from repro.schedulers.registry import available_schedulers
+from repro.simulator.autoscaler import AutoscalerConfig
+from repro.simulator.cluster import ClusterConfig
+from repro.simulator.federation import MigrationConfig
+from repro.simulator.pool import PoolSpec
+from repro.workloads.arrivals import OpenLoopSpec, PoissonProcess
+from repro.workloads.mixtures import WorkloadSpec, WorkloadType, default_applications
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The exact preparation the golden traces were recorded with.
+GOLDEN_SETTINGS = ExperimentSettings(profile_jobs=40, prior_samples=40, profiler_seed=9)
+GOLDEN_WORKLOAD = WorkloadSection.closed_loop("mixed", num_jobs=20, arrival_rate=1.2, seed=7)
+GOLDEN_CLUSTER = ClusterConfig(num_regular_executors=3, num_llm_executors=2, max_batch_size=4)
+
+TINY = ExperimentSettings(profile_jobs=30, prior_samples=15, llmsched=LLMSchedConfig(seed=0))
+
+
+@pytest.fixture(scope="module")
+def applications():
+    return default_applications()
+
+
+@pytest.fixture(scope="module")
+def golden_priors(applications):
+    return api.build_priors(applications, GOLDEN_SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def golden_profiler(applications):
+    return api.build_profiler(applications, GOLDEN_SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def tiny_prepared(applications):
+    return api.build_priors(applications, TINY), api.build_profiler(applications, TINY)
+
+
+def golden_scenario(name):
+    return ScenarioSpec(
+        scheduler=SchedulerSection(name),
+        workload=GOLDEN_WORKLOAD,
+        cluster=ClusterSection(config=GOLDEN_CLUSTER),
+        settings=GOLDEN_SETTINGS,
+    )
+
+
+class TestGoldenIdentity:
+    @pytest.mark.parametrize("name", available_schedulers(include_llmsched=True))
+    def test_api_run_matches_golden_trace(
+        self, name, applications, golden_priors, golden_profiler
+    ):
+        golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        result = api.run(
+            golden_scenario(name),
+            applications=applications,
+            priors=golden_priors,
+            profiler=golden_profiler,
+        )
+        assert dict(sorted(result.metrics.job_completion_times.items())) == golden["jct"]
+        assert result.metrics.makespan == golden["makespan"]
+        assert result.metrics.num_tasks_executed == golden["num_tasks_executed"]
+
+    def test_pure_spec_path_matches_golden_llmsched(self):
+        """No overrides at all: priors/profiler built from the spec settings."""
+        golden = json.loads((GOLDEN_DIR / "llmsched.json").read_text())
+        result = api.run(golden_scenario("llmsched"))
+        assert dict(sorted(result.metrics.job_completion_times.items())) == golden["jct"]
+        assert result.metrics.makespan == golden["makespan"]
+
+    def test_spec_survives_json_roundtrip_bit_identically(
+        self, applications, golden_priors, golden_profiler
+    ):
+        spec = golden_scenario("fcfs")
+        replayed = ScenarioSpec.from_json(spec.to_json())
+        a = api.run(spec, applications=applications, priors=golden_priors)
+        b = api.run(replayed, applications=applications, priors=golden_priors)
+        assert a.metrics.job_completion_times == b.metrics.job_completion_times
+        assert a.metrics.makespan == b.metrics.makespan
+
+
+class TestLegacyShimEquivalence:
+    @staticmethod
+    @contextmanager
+    def _quiet():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            yield
+
+    def test_run_single_matches_api(self, applications, tiny_prepared):
+        from repro.experiments.runner import run_single
+
+        priors, profiler = tiny_prepared
+        wspec = WorkloadSpec(WorkloadType.CHAIN, num_jobs=12, arrival_rate=1.0, seed=2)
+        with self._quiet():
+            legacy = run_single(
+                "sjf", wspec, applications=applications, settings=TINY,
+                priors=priors, profiler=profiler,
+            )
+        fresh = api.run(
+            ScenarioSpec(
+                scheduler=SchedulerSection("sjf"),
+                workload=WorkloadSection.from_workload_spec(wspec),
+                settings=TINY,
+            ),
+            applications=applications,
+            priors=priors,
+            profiler=profiler,
+        )
+        assert legacy.job_completion_times == fresh.metrics.job_completion_times
+        assert legacy.makespan == fresh.metrics.makespan
+
+    def test_open_loop_matches_api(self, applications, tiny_prepared):
+        from repro.experiments.runner import run_single_open_loop
+
+        priors, profiler = tiny_prepared
+        ospec = OpenLoopSpec(process=PoissonProcess(rate=1.0, seed=5), seed=5, max_jobs=12)
+        with self._quiet():
+            legacy = run_single_open_loop(
+                "fcfs", ospec, applications=applications, settings=TINY,
+                priors=priors, profiler=profiler,
+            )
+        fresh = api.run(
+            ScenarioSpec(
+                workload=WorkloadSection.from_open_loop_spec(ospec), settings=TINY
+            ),
+            applications=applications,
+        )
+        assert legacy.job_completion_times == fresh.metrics.job_completion_times
+
+    def test_federated_matches_api(self, applications, tiny_prepared):
+        from repro.experiments.runner import run_federated
+
+        priors, profiler = tiny_prepared
+        ospec = OpenLoopSpec(
+            process=PoissonProcess(rate=2.0, seed=5), seed=5, max_jobs=20, name="poisson"
+        )
+        config = ClusterConfig(num_regular_executors=6, num_llm_executors=2)
+        migration = MigrationConfig(interval=20.0, imbalance_threshold=0.3)
+        with self._quiet():
+            legacy = run_federated(
+                "fcfs", ospec, num_shards=2, cluster_config=config, migration=migration,
+                applications=applications, settings=TINY, priors=priors, profiler=profiler,
+            )
+        fresh = api.run(
+            ScenarioSpec(
+                workload=WorkloadSection.from_open_loop_spec(ospec),
+                cluster=ClusterSection(config=config, num_shards=2, migration=migration),
+                settings=TINY,
+            ),
+            applications=applications,
+        )
+        assert legacy.job_completion_times == fresh.metrics.job_completion_times
+        assert legacy.num_migrations == fresh.metrics.num_migrations
+        assert fresh.is_federated
+
+    def test_autoscaled_diurnal_matches_api(self, applications, tiny_prepared):
+        from repro.experiments.runner import run_autoscaled_diurnal
+        from repro.workloads.arrivals import DiurnalProcess
+
+        priors, profiler = tiny_prepared
+        ospec = OpenLoopSpec(
+            process=DiurnalProcess(mean_rate=1.0, amplitude=0.9, period=300.0, seed=4),
+            seed=4, max_jobs=25, name="diurnal",
+        )
+        pools = (
+            PoolSpec("cpu", TaskType.REGULAR, 2, min_executors=2, max_executors=16),
+            PoolSpec("gpu", TaskType.LLM, 1, max_batch_size=4, min_executors=1, max_executors=8),
+        )
+        autoscaler = AutoscalerConfig(interval=15.0, step=2)
+        with self._quiet():
+            legacy = run_autoscaled_diurnal(
+                "fcfs", ospec, pools, autoscaler_config=autoscaler,
+                applications=applications, settings=TINY, priors=priors, profiler=profiler,
+            )
+        fresh = api.run(
+            ScenarioSpec(
+                workload=WorkloadSection.from_open_loop_spec(ospec),
+                cluster=ClusterSection(pools=pools),
+                autoscaler=autoscaler,
+                settings=TINY,
+            ),
+            applications=applications,
+        )
+        assert legacy.job_completion_times == fresh.metrics.job_completion_times
+        assert legacy.scale_events == fresh.metrics.scale_events
+        assert fresh.metrics.scale_events  # the diurnal peak actually resized pools
+
+    def test_legacy_entry_points_warn(self):
+        from repro.experiments.runner import run_single
+
+        wspec = WorkloadSpec(WorkloadType.MIXED, num_jobs=5, arrival_rate=1.0, seed=1)
+        with pytest.warns(DeprecationWarning, match="run_single is deprecated"):
+            run_single("fcfs", wspec, settings=TINY)
+
+
+class TestConflictBugfix:
+    """ISSUE 5 satellite: cluster_config + pools used to silently prefer pools."""
+
+    POOLS = (
+        PoolSpec("cpu", TaskType.REGULAR, 4),
+        PoolSpec("gpu", TaskType.LLM, 2, max_batch_size=4),
+    )
+
+    def test_run_single_raises_on_conflicting_cluster_args(self):
+        from repro.experiments.runner import run_single
+
+        wspec = WorkloadSpec(WorkloadType.MIXED, num_jobs=5, arrival_rate=1.0, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="not both"):
+                run_single(
+                    "fcfs", wspec, settings=TINY,
+                    cluster_config=ClusterConfig(), pools=self.POOLS,
+                )
+
+    def test_run_single_open_loop_raises_on_conflicting_cluster_args(self):
+        from repro.experiments.runner import run_single_open_loop
+
+        ospec = OpenLoopSpec(process=PoissonProcess(rate=1.0, seed=1), seed=1, max_jobs=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="not both"):
+                run_single_open_loop(
+                    "fcfs", ospec, settings=TINY,
+                    cluster_config=ClusterConfig(), pools=self.POOLS,
+                )
+
+    def test_spec_validation_mirrors_the_check(self):
+        with pytest.raises(ValueError, match="not both"):
+            ClusterSection(config=ClusterConfig(), pools=self.POOLS)
+
+
+class TestGridAndResult:
+    def test_run_grid_matches_individual_runs(self, applications, tiny_prepared):
+        priors, _ = tiny_prepared
+        base = ScenarioSpec(
+            workload=WorkloadSection.closed_loop("mixed", num_jobs=8, arrival_rate=1.0, seed=6),
+            settings=TINY,
+        )
+        rows = api.run_grid(
+            base,
+            {"workload.arrival_rate": [0.8, 1.6], "scheduler.name": ["fcfs", "sjf"]},
+            processes=1,
+        )
+        assert [o for o, _ in rows] == [
+            {"workload.arrival_rate": 0.8, "scheduler.name": "fcfs"},
+            {"workload.arrival_rate": 0.8, "scheduler.name": "sjf"},
+            {"workload.arrival_rate": 1.6, "scheduler.name": "fcfs"},
+            {"workload.arrival_rate": 1.6, "scheduler.name": "sjf"},
+        ]
+        solo = api.run(
+            api.with_overrides(base, {"workload.arrival_rate": 1.6, "scheduler.name": "sjf"}),
+            applications=applications,
+            priors=priors,
+        )
+        assert rows[3][1].metrics.job_completion_times == solo.metrics.job_completion_times
+
+    def test_run_grid_parallel_matches_serial(self):
+        base = ScenarioSpec(
+            workload=WorkloadSection.closed_loop("mixed", num_jobs=8, arrival_rate=1.0, seed=6),
+            settings=TINY,
+        )
+        axes = {"scheduler.name": ["fcfs", "fair"]}
+        serial = api.run_grid(base, axes, processes=1)
+        parallel = api.run_grid(base, axes, processes=2)
+        for (_, a), (_, b) in zip(serial, parallel):
+            assert a.metrics.job_completion_times == b.metrics.job_completion_times
+
+    def test_run_grid_validates_axes(self):
+        base = ScenarioSpec(workload=WorkloadSection.closed_loop(num_jobs=5), settings=TINY)
+        with pytest.raises(ValueError, match="at least one value"):
+            api.run_grid(base, {"scheduler.name": []})
+        with pytest.raises(ValueError, match="at least one override axis"):
+            api.run_grid(base, {})
+
+    def test_result_schema(self, applications, tiny_prepared):
+        priors, _ = tiny_prepared
+        result = api.run(
+            ScenarioSpec(
+                workload=WorkloadSection.closed_loop("mixed", num_jobs=6, arrival_rate=1.0),
+                settings=TINY,
+            ),
+            applications=applications,
+            priors=priors,
+        )
+        payload = result.to_dict()
+        assert payload["schema_version"] == api.SCHEMA_VERSION
+        assert payload["metrics"]["num_jobs"] == 6
+        assert payload["wall_clock_sec"] > 0
+        # The resolved spec records the auto-sized cluster config.
+        assert payload["spec"]["cluster"]["config"]["num_llm_executors"] >= 1
+        json.dumps(payload)  # JSON-serializable end to end
+        lean = result.to_dict(include_spec=False)
+        assert "spec" not in lean
+
+    def test_compare_shares_draw_and_cluster(self, applications, tiny_prepared):
+        priors, profiler = tiny_prepared
+        scenario = ScenarioSpec(
+            workload=WorkloadSection.closed_loop("mixed", num_jobs=10, arrival_rate=1.2, seed=4),
+            settings=TINY,
+        )
+        comparison = api.compare(
+            scenario, ["fcfs", "sjf"], applications=applications,
+            priors=priors, profiler=profiler,
+        )
+        assert set(comparison.metrics) == {"fcfs", "sjf"}
+        assert set(comparison.metrics["fcfs"].job_completion_times) == set(
+            comparison.metrics["sjf"].job_completion_times
+        )
+
+    def test_inapplicable_overrides_rejected(self):
+        from repro.simulator.federation import HashRouter
+        from repro.simulator.autoscaler import ThresholdAutoscaler
+
+        single = ScenarioSpec(
+            workload=WorkloadSection.closed_loop(num_jobs=5), settings=TINY
+        )
+        with pytest.raises(ValueError, match="router override only applies"):
+            api.run(single, router=HashRouter())
+        federated = ScenarioSpec(
+            workload=WorkloadSection.open_loop(PoissonProcess(rate=1.0), max_jobs=5),
+            cluster=ClusterSection(config=ClusterConfig(), num_shards=2),
+            settings=TINY,
+        )
+        with pytest.raises(ValueError, match="do not apply to federated"):
+            api.run(federated, autoscaler=ThresholdAutoscaler())
+
+    def test_open_loop_sizing_needs_rate(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSection.open_loop(
+                PoissonProcess(rate=1.0, seed=5).take(5), seed=5
+            ),
+            settings=TINY,
+        )
+        with pytest.raises(ValueError, match="nominal_rate"):
+            api.run(spec)
+
+    def test_placement_section_resolves(self, applications, tiny_prepared):
+        priors, _ = tiny_prepared
+        result = api.run(
+            ScenarioSpec(
+                workload=WorkloadSection.closed_loop("mixed", num_jobs=8, arrival_rate=1.2, seed=6),
+                cluster=ClusterSection(pools=TestConflictBugfix.POOLS),
+                placement=PlacementSection("best_fit"),
+                settings=TINY,
+            ),
+            applications=applications,
+            priors=priors,
+        )
+        assert len(result.metrics.job_completion_times) == 8
+
+    def test_async_section_resolves(self, applications):
+        result = api.run(
+            ScenarioSpec(
+                workload=WorkloadSection.closed_loop("mixed", num_jobs=8, arrival_rate=1.5, seed=6),
+                async_=AsyncSection(latency=1.0),
+                settings=TINY,
+            ),
+            applications=applications,
+        )
+        assert result.metrics.num_async_decisions > 0

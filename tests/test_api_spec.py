@@ -1,0 +1,402 @@
+"""Spec-tree tests: validation errors and JSON round-tripping.
+
+The hypothesis property is the satellite acceptance bar of ISSUE 5:
+``ScenarioSpec.from_json(spec.to_json()) == spec`` across every section —
+closed/open workloads (including combinator arrival processes), cluster
+shapes (sized / config / pools / federated), placement, async latency
+models, autoscaler and settings.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    AsyncSection,
+    AutoscalerSection,
+    ClusterSection,
+    ExperimentSettings,
+    MigrationSection,
+    PlacementSection,
+    ScenarioSpec,
+    SchedulerSection,
+    SpecError,
+    WorkloadSection,
+    with_overrides,
+)
+from repro.dag.task import TaskType
+from repro.simulator.async_sched import AsyncConfig, PerJobLinearLatency, SampledLatency
+from repro.simulator.cluster import ClusterConfig
+from repro.simulator.pool import PoolSpec
+from repro.workloads.arrivals import (
+    BurstyProcess,
+    DiurnalProcess,
+    PoissonProcess,
+    TraceReplayProcess,
+    superpose,
+)
+from repro.workloads.mixtures import WorkloadType
+
+
+# --------------------------------------------------------------------------- #
+# Validation: actionable errors
+# --------------------------------------------------------------------------- #
+class TestValidation:
+    def test_unknown_scheduler_lists_available(self):
+        with pytest.raises(SpecError, match="unknown scheduler 'nope'.*available.*fcfs"):
+            SchedulerSection("nope")
+
+    def test_unknown_scheduler_kwargs_fail_at_validation(self):
+        # A typo must fail at spec construction ("repro validate"), not
+        # after the expensive profiler fit at run time.
+        with pytest.raises(SpecError, match="epsilonn.*valid.*epsilon"):
+            SchedulerSection("llmsched", kwargs={"epsilonn": 0.1})
+        with pytest.raises(SpecError, match="does not accept kwargs.*bogus"):
+            SchedulerSection("fcfs", kwargs={"bogus": 1})
+
+    def test_baseline_kwargs_pass_through(self):
+        # srtf_preempt genuinely accepts constructor kwargs.
+        section = SchedulerSection("srtf_preempt", kwargs={"checkpoint": False})
+        assert section.kwargs == {"checkpoint": False}
+
+    def test_unknown_workload_type(self):
+        with pytest.raises(SpecError, match="unknown workload_type.*mixed"):
+            WorkloadSection.closed_loop("not-a-mix")
+
+    def test_open_mode_requires_process(self):
+        with pytest.raises(SpecError, match="process"):
+            WorkloadSection(mode="open")
+
+    def test_closed_mode_rejects_process(self):
+        with pytest.raises(SpecError, match="closed-loop"):
+            WorkloadSection(mode="closed", process=PoissonProcess(rate=1.0))
+
+    def test_cluster_config_and_pools_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            ClusterSection(
+                config=ClusterConfig(),
+                pools=(PoolSpec("cpu", TaskType.REGULAR, 2),),
+            )
+
+    def test_federation_rejects_pools(self):
+        with pytest.raises(SpecError, match="per-shard"):
+            ClusterSection(pools=(PoolSpec("cpu", TaskType.REGULAR, 2),), num_shards=2)
+
+    def test_migration_requires_federation(self):
+        with pytest.raises(SpecError, match="num_shards > 1"):
+            ClusterSection(migration=MigrationSection())
+
+    def test_unknown_router_lists_available(self):
+        with pytest.raises(SpecError, match="unknown job router.*least_loaded"):
+            ClusterSection(num_shards=2, router="wormhole")
+
+    def test_unknown_placement_lists_available(self):
+        with pytest.raises(SpecError, match="unknown placement policy.*greedy"):
+            PlacementSection("teleport")
+
+    def test_federation_plus_autoscaler_conflict(self):
+        with pytest.raises(SpecError, match="autoscal"):
+            ScenarioSpec(
+                workload=WorkloadSection.open_loop(PoissonProcess(rate=1.0), max_jobs=5),
+                cluster=ClusterSection(config=ClusterConfig(), num_shards=2),
+                autoscaler=AutoscalerSection(),
+            )
+
+    def test_federation_plus_placement_conflict(self):
+        with pytest.raises(SpecError, match="placement"):
+            ScenarioSpec(
+                workload=WorkloadSection.open_loop(PoissonProcess(rate=1.0), max_jobs=5),
+                cluster=ClusterSection(config=ClusterConfig(), num_shards=2),
+                placement=PlacementSection(),
+            )
+
+    def test_federation_requires_open_loop(self):
+        with pytest.raises(SpecError, match="open-loop"):
+            ScenarioSpec(
+                workload=WorkloadSection.closed_loop(),
+                cluster=ClusterSection(config=ClusterConfig(), num_shards=2),
+            )
+
+    def test_schema_version_mismatch(self):
+        with pytest.raises(SpecError, match="schema_version"):
+            ScenarioSpec(schema_version=999)
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(SpecError, match="unknown top-level key.*schedulerz"):
+            ScenarioSpec.from_dict({"schedulerz": {}})
+
+    def test_unknown_section_key(self):
+        with pytest.raises(SpecError, match="unknown key.*arrival_rte"):
+            ScenarioSpec.from_dict({"workload": {"arrival_rte": 1.0}})
+
+    def test_async_negative_latency(self):
+        with pytest.raises(SpecError, match=">= 0"):
+            AsyncSection(latency=-1.0)
+
+    def test_async_sampled_needs_samples(self):
+        with pytest.raises(SpecError, match="samples"):
+            AsyncSection(kind="sampled")
+
+    def test_async_unknown_kind(self):
+        with pytest.raises(SpecError, match="unknown async latency kind"):
+            AsyncSection(kind="quantum")
+
+    def test_async_rejects_kind_mismatched_fields(self):
+        # Overriding async.latency over a sampled section must not silently
+        # run identical cells.
+        with pytest.raises(SpecError, match="'latency' has no effect.*sampled"):
+            AsyncSection(kind="sampled", samples=(0.5,), latency=2.0)
+        with pytest.raises(SpecError, match="'base' has no effect.*fixed"):
+            AsyncSection(kind="fixed", latency=1.0, base=0.5)
+
+    def test_unknown_process_kind(self):
+        with pytest.raises(SpecError, match="unknown arrival process kind"):
+            ScenarioSpec.from_dict(
+                {"workload": {"mode": "open", "process": {"kind": "tachyon"}}}
+            )
+
+    def test_bad_json_is_spec_error(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            ScenarioSpec.from_json("{nope")
+
+
+class TestAsyncSectionBridge:
+    def test_from_async_config_roundtrip_fixed(self):
+        section = AsyncSection.from_async_config(AsyncConfig(latency=2.5, pipelined=True))
+        assert section.kind == "fixed" and section.latency == 2.5 and section.pipelined
+        config = section.to_async_config()
+        assert config.latency == 2.5 and config.pipelined
+
+    def test_from_async_config_models(self):
+        linear = AsyncSection.from_async_config(
+            AsyncConfig(latency=PerJobLinearLatency(base=0.5, per_job=0.2))
+        )
+        assert linear.kind == "per_job_linear" and linear.base == 0.5
+        sampled = AsyncSection.from_async_config(
+            AsyncConfig(latency=SampledLatency([1.0, 2.0], seed=3))
+        )
+        assert sampled.kind == "sampled" and sampled.samples == (1.0, 2.0)
+
+    def test_from_async_config_unrepresentable_is_none(self):
+        class Weird(PerJobLinearLatency):
+            pass
+
+        assert AsyncSection.from_async_config(AsyncConfig(latency=Weird())) is None
+        assert AsyncSection.from_async_config(None) is None
+
+
+class TestOverrides:
+    def test_override_creates_async_section(self):
+        spec = ScenarioSpec(workload=WorkloadSection.closed_loop(num_jobs=5))
+        out = with_overrides(spec, {"async.latency": 2.0, "scheduler.name": "sjf"})
+        assert out.async_.latency == 2.0
+        assert out.scheduler.name == "sjf"
+        assert out.workload == spec.workload
+
+    def test_override_invalid_value_raises(self):
+        spec = ScenarioSpec(workload=WorkloadSection.closed_loop(num_jobs=5))
+        with pytest.raises(SpecError):
+            with_overrides(spec, {"async.latency": -1.0})
+
+    def test_override_clears_section(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSection.open_loop(PoissonProcess(rate=1.0), max_jobs=5),
+            cluster=ClusterSection(
+                config=ClusterConfig(), num_shards=2, migration=MigrationSection()
+            ),
+        )
+        out = with_overrides(spec, {"cluster.num_shards": 1, "cluster.migration": None})
+        assert out.cluster.num_shards == 1 and out.cluster.migration is None
+
+
+# --------------------------------------------------------------------------- #
+# Round-tripping (hypothesis)
+# --------------------------------------------------------------------------- #
+_rates = st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False)
+_seeds = st.integers(0, 99)
+
+_leaf_processes = st.one_of(
+    st.builds(PoissonProcess, rate=_rates, seed=_seeds),
+    st.builds(
+        BurstyProcess,
+        base_rate=_rates,
+        burst_rate=_rates,
+        mean_normal_duration=st.floats(1.0, 200.0),
+        mean_burst_duration=st.floats(1.0, 50.0),
+        seed=_seeds,
+    ),
+    st.builds(
+        DiurnalProcess,
+        mean_rate=_rates,
+        amplitude=st.floats(0.0, 1.0),
+        period=st.floats(10.0, 1e5),
+        seed=_seeds,
+    ),
+    st.builds(
+        TraceReplayProcess,
+        trace=st.lists(st.floats(0.0, 100.0), max_size=4).map(
+            lambda xs: tuple(sorted(xs))
+        ),
+    ),
+)
+
+_processes = st.recursive(
+    _leaf_processes,
+    lambda inner: st.one_of(
+        st.tuples(inner, st.integers(0, 50)).map(lambda t: t[0].take(t[1])),
+        st.tuples(inner, st.floats(1.0, 1e4)).map(lambda t: t[0].until(t[1])),
+        st.lists(inner, min_size=1, max_size=3).map(lambda ps: superpose(*ps)),
+    ),
+    max_leaves=4,
+)
+
+_closed_workloads = st.builds(
+    WorkloadSection.closed_loop,
+    workload_type=st.sampled_from([w.value for w in WorkloadType]),
+    num_jobs=st.integers(1, 500),
+    arrival_rate=_rates,
+    seed=_seeds,
+)
+
+_open_workloads = st.builds(
+    WorkloadSection.open_loop,
+    process=_processes,
+    application_names=st.one_of(
+        st.none(), st.just(("code_generation", "web_search"))
+    ),
+    seed=_seeds,
+    max_jobs=st.one_of(st.none(), st.integers(1, 200)),
+    horizon=st.one_of(st.none(), st.floats(1.0, 1e4)),
+    name=st.sampled_from(["open_loop", "bursty", "diurnal"]),
+)
+
+_cluster_configs = st.builds(
+    ClusterConfig,
+    num_regular_executors=st.integers(1, 32),
+    num_llm_executors=st.integers(1, 16),
+    max_batch_size=st.integers(1, 16),
+    latency_slope=st.floats(0.0, 0.5),
+)
+
+_pools = st.lists(
+    st.one_of(
+        st.builds(
+            PoolSpec,
+            name=st.sampled_from(["cpu", "cpu2", "arm"]),
+            task_type=st.just(TaskType.REGULAR),
+            num_executors=st.integers(1, 8),
+        ),
+        st.builds(
+            PoolSpec,
+            name=st.sampled_from(["gpu", "a100", "h800"]),
+            task_type=st.just(TaskType.LLM),
+            num_executors=st.integers(1, 4),
+            max_batch_size=st.integers(1, 16),
+            speed_factor=st.floats(0.5, 2.0, exclude_min=True),
+        ),
+    ),
+    min_size=1,
+    max_size=3,
+    unique_by=lambda p: p.name,
+).map(tuple)
+
+_schedulers = st.one_of(
+    st.builds(SchedulerSection, name=st.sampled_from(["fcfs", "sjf", "srtf", "llmsched"])),
+    st.builds(
+        SchedulerSection,
+        name=st.just("llmsched"),
+        kwargs=st.just({"epsilon": 0.25}),
+    ),
+)
+
+_async_sections = st.one_of(
+    st.none(),
+    st.builds(
+        AsyncSection,
+        kind=st.just("fixed"),
+        latency=st.floats(0.0, 10.0),
+        pipelined=st.booleans(),
+        max_in_flight=st.integers(1, 4),
+    ),
+    st.builds(
+        AsyncSection,
+        kind=st.just("per_job_linear"),
+        base=st.floats(0.0, 2.0),
+        per_job=st.floats(0.0, 1.0),
+    ),
+    st.builds(
+        AsyncSection,
+        kind=st.just("sampled"),
+        samples=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=4).map(tuple),
+        seed=_seeds,
+    ),
+)
+
+_settings = st.builds(
+    ExperimentSettings,
+    target_load=st.floats(0.5, 2.0, exclude_min=True),
+    profile_jobs=st.integers(10, 200),
+    prior_samples=st.integers(10, 200),
+    profiler_seed=_seeds,
+)
+
+
+@st.composite
+def scenario_specs(draw):
+    federated = draw(st.booleans())
+    if federated:
+        workload = draw(_open_workloads)
+        cluster = ClusterSection(
+            config=draw(_cluster_configs.filter(
+                lambda c: c.num_regular_executors >= 2 and c.num_llm_executors >= 2
+            )),
+            num_shards=draw(st.integers(2, 4)),
+            router=draw(st.sampled_from(["hash", "least_loaded", "type_affinity"])),
+            migration=draw(st.one_of(st.none(), st.builds(MigrationSection))),
+        )
+        placement = None
+        autoscaler = None
+    else:
+        workload = draw(st.one_of(_closed_workloads, _open_workloads))
+        shape = draw(st.sampled_from(["sized", "config", "pools"]))
+        if shape == "config":
+            cluster = ClusterSection(config=draw(_cluster_configs))
+        elif shape == "pools":
+            cluster = ClusterSection(pools=draw(_pools))
+        else:
+            cluster = ClusterSection(nominal_rate=draw(st.one_of(st.none(), _rates)))
+        placement = draw(
+            st.one_of(st.none(), st.builds(PlacementSection, name=st.sampled_from(["greedy", "best_fit"])))
+        )
+        autoscaler = draw(
+            st.one_of(st.none(), st.builds(AutoscalerSection, step=st.integers(1, 4)))
+        )
+    return ScenarioSpec(
+        scheduler=draw(_schedulers),
+        workload=workload,
+        cluster=cluster,
+        placement=placement,
+        async_=draw(_async_sections),
+        autoscaler=autoscaler,
+        settings=draw(_settings),
+    )
+
+
+@hyp_settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_spec_json_roundtrip(spec):
+    text = spec.to_json()
+    json.loads(text)  # valid JSON
+    assert ScenarioSpec.from_json(text) == spec
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+@hyp_settings(max_examples=30, deadline=None)
+@given(scenario_specs())
+def test_spec_roundtrip_is_stable(spec):
+    """Serialization is a fixed point: dict -> spec -> dict is identity."""
+    once = spec.to_dict()
+    again = ScenarioSpec.from_dict(once).to_dict()
+    assert once == again
