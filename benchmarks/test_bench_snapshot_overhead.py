@@ -1,0 +1,169 @@
+"""Snapshot-overhead benchmark: COW vs deep-copy scheduling snapshots.
+
+The async decision path snapshots the scheduling context on every pass;
+PR 4 paid ``copy.deepcopy(jobs)`` — O(active jobs x stages x tasks) — per
+snapshot.  This benchmark quantifies the copy-on-write replacement along
+the axis that matters (concurrently active jobs, BENCH_2 shows 330 at
+peak on open-loop traces) and guards it two ways:
+
+1. **Micro**: per-decision ``snapshot()`` cost at growing active-job
+   counts, deep-copy oracle vs COW view on identical engine state.  The
+   ISSUE 6 acceptance bar — COW at least **5x** cheaper at >= 300 active
+   jobs — is asserted here at every scale.
+2. **End-to-end**: one pipelined async run per snapshot policy on the
+   identical workload draw; wall-clock throughput is recorded for the
+   regression gate and the two runs must agree **bit-identically** on
+   every simulated number (the policy may only change wall-clock cost,
+   never behavior).
+
+Results land in ``BENCH_5.json`` (CI artifact + regression baseline):
+``*_snapshots_per_sec`` / ``*_events_per_sec`` are machine-normalized
+throughput floors, ``jct``-tagged keys are exact golden numbers.
+
+Smoke mode (``BENCH_SCALE=smoke``) shrinks job counts and repeats for CI.
+"""
+
+import os
+import time as wallclock
+
+from bench_output import record_bench_section
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.simulator.async_sched import AsyncConfig, AsyncSchedulerBackend
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.engine import SimulationConfig, SimulationEngine
+from repro.workloads.mixtures import (
+    WorkloadSpec,
+    WorkloadType,
+    default_applications,
+    generate_workload,
+)
+
+SMOKE = os.environ.get("BENCH_SCALE") == "smoke"
+JOB_COUNTS = (60, 300) if SMOKE else (60, 150, 300, 600)
+REPEATS = 3 if SMOKE else 5
+COW_BATCH = 20 if SMOKE else 50  # snapshots per timing sample (COW is fast)
+E2E_JOBS = 40 if SMOKE else 120
+TARGET_SPEEDUP = 5.0
+TARGET_AT_JOBS = 300
+OUTPUT_FILE = "BENCH_5.json"
+
+APPLICATIONS = default_applications()
+#: Tiny on purpose: the cluster must not drain jobs while they accumulate,
+#: so the snapshot cost is measured at the advertised active-job count.
+MICRO_CLUSTER = ClusterConfig(num_regular_executors=1, num_llm_executors=1, max_batch_size=2)
+E2E_CLUSTER = ClusterConfig(num_regular_executors=3, num_llm_executors=2, max_batch_size=4)
+
+
+def loaded_context(num_jobs, snapshot_policy):
+    """A live context with ~num_jobs concurrently active jobs."""
+    spec = WorkloadSpec(
+        workload_type=WorkloadType.MIXED,
+        num_jobs=num_jobs,
+        arrival_rate=50.0,  # everyone arrives long before the tiny cluster drains
+        seed=3,
+    )
+    engine = SimulationEngine(
+        generate_workload(spec, applications=APPLICATIONS),
+        FcfsScheduler(),
+        cluster=Cluster(MICRO_CLUSTER),
+        config=SimulationConfig(snapshot_policy=snapshot_policy),
+    )
+    while engine._next_arrival is not None:
+        assert engine.step()
+    assert engine.num_active_jobs >= 0.9 * num_jobs
+    return engine._build_context(), engine.num_active_jobs
+
+
+def snapshots_per_sec(context, batch):
+    best = 0.0
+    for _ in range(REPEATS):
+        started = wallclock.perf_counter()
+        for _ in range(batch):
+            snapshot = context.snapshot()
+        elapsed = wallclock.perf_counter() - started
+        del snapshot
+        best = max(best, batch / elapsed)
+    return best
+
+
+def run_e2e(snapshot_policy):
+    spec = WorkloadSpec(
+        workload_type=WorkloadType.MIXED, num_jobs=E2E_JOBS, arrival_rate=1.5, seed=11
+    )
+    engine = SimulationEngine(
+        generate_workload(spec, applications=APPLICATIONS),
+        FcfsScheduler(),
+        cluster=Cluster(E2E_CLUSTER),
+        config=SimulationConfig(snapshot_policy=snapshot_policy),
+        async_backend=AsyncSchedulerBackend(
+            AsyncConfig(latency=0.5, pipelined=True, max_in_flight=4)
+        ),
+    )
+    started = wallclock.perf_counter()
+    metrics = engine.run()
+    elapsed = wallclock.perf_counter() - started
+    return metrics, metrics.num_events / elapsed
+
+
+def test_bench_snapshot_overhead():
+    points = []
+    for num_jobs in JOB_COUNTS:
+        deep_context, deep_active = loaded_context(num_jobs, "deepcopy")
+        cow_context, cow_active = loaded_context(num_jobs, "cow")
+        assert deep_active == cow_active  # identical deterministic state
+        deep_rate = snapshots_per_sec(deep_context, batch=1)
+        cow_rate = snapshots_per_sec(cow_context, batch=COW_BATCH)
+        points.append(
+            {
+                "active_jobs": deep_active,
+                "deepcopy_snapshots_per_sec": deep_rate,
+                "cow_snapshots_per_sec": cow_rate,
+                "cow_speedup": cow_rate / deep_rate,
+            }
+        )
+
+    print(f"\nsnapshot cost vs active jobs (policies: deepcopy vs cow, {REPEATS} repeats):")
+    for point in points:
+        print(
+            f"  {point['active_jobs']:>5} jobs   "
+            f"deepcopy {1e6 / point['deepcopy_snapshots_per_sec']:>10.0f} us   "
+            f"cow {1e6 / point['cow_snapshots_per_sec']:>8.1f} us   "
+            f"x{point['cow_speedup']:.0f}"
+        )
+
+    # ISSUE 6 acceptance: >= 5x cheaper per decision at >= 300 active jobs.
+    at_scale = [p for p in points if p["active_jobs"] >= 0.9 * TARGET_AT_JOBS]
+    assert at_scale, f"no measurement at >= {TARGET_AT_JOBS} active jobs"
+    for point in at_scale:
+        assert point["cow_speedup"] >= TARGET_SPEEDUP, (
+            f"COW snapshot only {point['cow_speedup']:.1f}x faster than deep copy "
+            f"at {point['active_jobs']} active jobs (need >= {TARGET_SPEEDUP}x)"
+        )
+
+    # End-to-end: the policy must be invisible in simulated output...
+    cow_metrics, cow_events_per_sec = run_e2e("cow")
+    deep_metrics, deep_events_per_sec = run_e2e("deepcopy")
+    assert cow_metrics.job_completion_times == deep_metrics.job_completion_times
+    assert cow_metrics.makespan == deep_metrics.makespan
+    assert cow_metrics.num_preemptions == deep_metrics.num_preemptions
+    print(
+        f"  pipelined e2e ({E2E_JOBS} jobs): cow {cow_events_per_sec:,.0f} events/s, "
+        f"deepcopy {deep_events_per_sec:,.0f} events/s, identical traces"
+    )
+
+    record_bench_section(
+        "snapshot_overhead",
+        {
+            "job_counts": list(JOB_COUNTS),
+            "points": {str(p["active_jobs"]): p for p in points},
+            "e2e": {
+                "num_jobs": E2E_JOBS,
+                "cow_events_per_sec": cow_events_per_sec,
+                "deepcopy_events_per_sec": deep_events_per_sec,
+                "average_jct": cow_metrics.average_jct,
+                "jct_identical_across_policies": True,
+                "makespan": cow_metrics.makespan,
+            },
+        },
+        filename=OUTPUT_FILE,
+    )

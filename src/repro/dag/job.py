@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
@@ -291,6 +292,26 @@ class Job:
         if self.finish_time is None and all(s.is_complete for s in self._stages.values()):
             self.finish_time = float(time)
         return changed
+
+    def snapshot_clone(self) -> "Job":
+        """A structural copy for copy-on-write snapshot views.
+
+        Requires a finalized job: the dependency graph and the topology /
+        depth caches are frozen at :meth:`finalize` and therefore *shared*
+        with the clone (this is what makes the clone cheap — deep-copying
+        the networkx graph dominates ``copy.deepcopy(job)``).  Mutable
+        runtime state is copied: stages (with their tasks), the pending
+        reveal map, and the job finish time.  The schedulable-stage cache
+        is dropped because it holds references to this job's live stages.
+        """
+        self._require_finalized()
+        clone = copy.copy(self)
+        clone._stages = {
+            stage_id: stage.snapshot_clone() for stage_id, stage in self._stages.items()
+        }
+        clone._reveals = {trigger: list(ids) for trigger, ids in self._reveals.items()}
+        clone._sched_cache = None
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 import enum
 import itertools
 from dataclasses import dataclass, field
@@ -113,6 +114,16 @@ class Task:
         self.state = TaskState.FINISHED
         self.progress = self.work
         self.finish_time = float(time)
+
+    def snapshot_clone(self) -> "Task":
+        """A structural copy for copy-on-write snapshot views.
+
+        Every field is an immutable scalar, so a shallow copy is a full
+        copy; ``uid`` is preserved (unlike constructing a new Task), which
+        keeps tie-breaks that sort on uid identical between a snapshot and
+        the live world.
+        """
+        return copy.copy(self)
 
     def key(self) -> str:
         """Stable human-readable identifier used in logs and metrics."""

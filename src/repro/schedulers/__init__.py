@@ -11,8 +11,11 @@ from repro.schedulers.base import (
     Scheduler,
     SchedulingContext,
     SchedulingDecision,
+    flatten_stage_tasks,
     interleave_by_job,
+    interleave_tasks,
 )
+from repro.schedulers.snapshot import CowSnapshotTracker
 from repro.schedulers.preemptive import PreemptiveSrtfScheduler
 from repro.schedulers.fcfs import FcfsScheduler
 from repro.schedulers.fair import FairScheduler
@@ -29,6 +32,9 @@ __all__ = [
     "SchedulingDecision",
     "PreemptionDirective",
     "PreemptiveSrtfScheduler",
+    "CowSnapshotTracker",
+    "flatten_stage_tasks",
+    "interleave_tasks",
     "interleave_by_job",
     "FcfsScheduler",
     "FairScheduler",

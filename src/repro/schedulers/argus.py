@@ -18,7 +18,7 @@ from repro.schedulers.base import (
     Scheduler,
     SchedulingContext,
     SchedulingDecision,
-    interleave_by_job,
+    flatten_stage_tasks,
 )
 
 __all__ = ["ArgusScheduler"]
@@ -47,4 +47,4 @@ class ArgusScheduler(Scheduler):
                 )
         ranked.sort(key=lambda item: (item[0], item[1], item[2]))
         stages = [item[4] for item in ranked]
-        return SchedulingDecision.from_tasks(interleave_by_job(stages))
+        return SchedulingDecision.from_tasks(flatten_stage_tasks(stages))

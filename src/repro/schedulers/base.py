@@ -14,18 +14,22 @@ from __future__ import annotations
 
 import abc
 import copy
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.dag.job import Job
 from repro.dag.stage import Stage
 from repro.dag.task import Task, TaskType
+from repro.schedulers.snapshot import CowSnapshotTracker
 
 __all__ = [
     "SchedulingContext",
     "SchedulingDecision",
     "PreemptionDirective",
     "Scheduler",
+    "flatten_stage_tasks",
+    "interleave_tasks",
     "interleave_by_job",
 ]
 
@@ -73,8 +77,21 @@ class SchedulingContext:
     #: latency window cannot observe (or corrupt) later cluster mutations.
     snapshot_time: Optional[float] = None
     # Lazily-built job_id -> Job index backing job_of (built at most once
-    # per context; contexts are snapshots, so the job set never changes).
+    # per context; the job *set* of a context never changes — COW snapshots
+    # may swap individual entries for clones, which resets this cache).
     _jobs_by_id: Optional[Dict[str, Job]] = field(default=None, repr=False, compare=False)
+    #: Copy-on-write wiring (set by the engine on live contexts when the
+    #: run uses ``snapshot_policy="cow"``).  ``_cow_tracker`` makes
+    #: :meth:`snapshot` return a sharing view instead of a deep copy;
+    #: ``_cow_shared`` (snapshots only) maps job_id -> index of entries in
+    #: ``jobs`` that still alias live job objects.  The tracker evicts an
+    #: entry and swaps in a private clone right before the live engine
+    #: mutates that job (see :class:`~repro.schedulers.snapshot.
+    #: CowSnapshotTracker`).
+    _cow_tracker: Optional[CowSnapshotTracker] = field(
+        default=None, repr=False, compare=False
+    )
+    _cow_shared: Optional[Dict[str, int]] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     def schedulable_stages(self) -> List[Stage]:
@@ -109,24 +126,78 @@ class SchedulingContext:
 
     @property
     def average_llm_batch_size(self) -> float:
-        if not self.llm_batch_sizes:
+        """Mean batch size over *busy* LLM executors.
+
+        Idle executors (batch size 0) are excluded: batching-aware duration
+        calibration asks "what batch does a request share when it runs?",
+        and an idle executor contributes batch 1 the moment a request lands
+        on it, never batch 0.  Averaging zeros in deflated the estimate
+        exactly when the cluster was underloaded.  With no busy executor
+        (or no LLM pool at all) the answer is the no-contention batch of 1.
+        """
+        busy = [b for b in self.llm_batch_sizes if b > 0]
+        if not busy:
             return 1.0
-        return max(1.0, sum(self.llm_batch_sizes) / len(self.llm_batch_sizes))
+        return sum(busy) / len(busy)
 
     @property
     def is_snapshot(self) -> bool:
         return self.snapshot_time is not None
 
     def snapshot(self) -> "SchedulingContext":
-        """A deep-copied view of this context, immune to live mutations.
+        """A frozen view of this context, immune to live mutations.
 
-        Jobs (with their stages and tasks) are deep-copied, so a scheduler
-        deciding against the snapshot sees the cluster exactly as it was at
-        ``time`` no matter what the live simulation does in the meantime.
-        The tasks inside a decision computed from a snapshot are therefore
-        *copies*; whoever applies the decision must map them back onto the
-        live jobs by key (see ``SimulationEngine._resolve_live_task``).
+        Two implementations, selected by whether the engine attached a
+        :class:`~repro.schedulers.snapshot.CowSnapshotTracker`:
+
+        * **Copy-on-write** (the engine default, ``snapshot_policy="cow"``):
+          the snapshot starts out sharing every live ``Job`` object; the
+          engine copies a job into the snapshot right before mutating it.
+          Creation is O(active jobs) pointer copies instead of a deep copy
+          of the whole DAG forest.  The snapshot is a *read-only* view —
+          the scheduler contract already forbids mutating the context, and
+          under COW a write-through would corrupt live state.
+        * **Deep copy** (the golden oracle, ``snapshot_policy="deepcopy"``,
+          and the default for bare contexts built outside an engine): jobs
+          with their stages and tasks are deep-copied, so isolation holds
+          in both directions.
+
+        Either way a scheduler deciding against the snapshot sees the
+        cluster exactly as it was at ``time`` no matter what the live
+        simulation does in the meantime.  Tasks inside a decision computed
+        from a snapshot may be copies; whoever applies the decision must
+        map them back onto the live jobs by key (see
+        ``SimulationEngine._resolve_live_task`` — under COW the mapping is
+        usually the identity, but the engine never relies on that).
+
+        Snapshots are frozen at a single instant: re-snapshotting one is
+        always a bug (it would silently re-stamp ``snapshot_time``), so it
+        raises instead.
         """
+        if self.is_snapshot:
+            raise RuntimeError(
+                "cannot snapshot a snapshot: this context was already frozen "
+                f"at t={self.snapshot_time}; take snapshots from the live context"
+            )
+        if self._cow_tracker is not None:
+            snapshot = SchedulingContext(
+                time=self.time,
+                jobs=list(self.jobs),
+                free_regular_slots=self.free_regular_slots,
+                free_llm_slots=self.free_llm_slots,
+                llm_batch_sizes=list(self.llm_batch_sizes),
+                inactive_executor_ids=set(self.inactive_executor_ids),
+                executor_speeds=dict(self.executor_speeds),
+                shard_name=self.shard_name,
+                shard_count=self.shard_count,
+                fleet_free_slots=dict(self.fleet_free_slots),
+                snapshot_time=self.time,
+            )
+            snapshot._cow_shared = {
+                job.job_id: index for index, job in enumerate(snapshot.jobs)
+            }
+            self._cow_tracker.register(snapshot)
+            return snapshot
         return SchedulingContext(
             time=self.time,
             jobs=copy.deepcopy(self.jobs),
@@ -226,13 +297,52 @@ class Scheduler(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-def interleave_by_job(stages: Sequence[Stage]) -> List[Task]:
-    """Flatten stages into tasks, keeping the given stage (job) priority order.
+def flatten_stage_tasks(stages: Sequence[Stage]) -> List[Task]:
+    """Flatten stages into tasks, keeping the given stage priority order.
 
     All tasks of a higher-priority stage come before tasks of lower-priority
-    stages; within a stage, tasks keep their index order.
+    stages; within a stage, tasks keep their index order.  This is what the
+    priority-ordering baselines (FCFS/SJF/SRTF/Argus) want: the stage order
+    *is* the preference order, and no cross-stage fairness is implied.
     """
     tasks: List[Task] = []
     for stage in stages:
         tasks.extend(stage.pending_tasks())
     return tasks
+
+
+def interleave_tasks(stages: Sequence[Stage]) -> List[Task]:
+    """True round-robin over stages: one pending task per stage per round.
+
+    The first pending task of every stage (in the given priority order),
+    then every second pending task, and so on — so no single wide stage can
+    starve the others while still respecting the priority order within each
+    round.  Use :func:`flatten_stage_tasks` when strict stage priority is
+    wanted instead.
+    """
+    queues = [stage.pending_tasks() for stage in stages]
+    tasks: List[Task] = []
+    for rank in range(max((len(q) for q in queues), default=0)):
+        for queue in queues:
+            if rank < len(queue):
+                tasks.append(queue[rank])
+    return tasks
+
+
+def interleave_by_job(stages: Sequence[Stage]) -> List[Task]:
+    """Deprecated misnomer for :func:`flatten_stage_tasks`.
+
+    Despite the historical name (and docstring), this never interleaved
+    anything — it flat-concatenates stage tasks in priority order.  Kept as
+    an alias so downstream callers keep working; use
+    :func:`flatten_stage_tasks` for the same behavior or
+    :func:`interleave_tasks` for actual round-robin interleaving.
+    """
+    warnings.warn(
+        "interleave_by_job is a misnomer and is deprecated: it flat-concatenates "
+        "stage tasks (use flatten_stage_tasks) and never interleaved (use "
+        "interleave_tasks for round-robin)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return flatten_stage_tasks(stages)

@@ -9,7 +9,7 @@ from repro.schedulers.base import (
     Scheduler,
     SchedulingContext,
     SchedulingDecision,
-    interleave_by_job,
+    flatten_stage_tasks,
 )
 
 __all__ = ["FcfsScheduler"]
@@ -33,4 +33,4 @@ class FcfsScheduler(Scheduler):
                 key=lambda s: (job.stage_depth(s.stage_id), s.stage_id),
             )
             stages.extend(job_stages)
-        return SchedulingDecision.from_tasks(interleave_by_job(stages))
+        return SchedulingDecision.from_tasks(flatten_stage_tasks(stages))

@@ -9,7 +9,7 @@ from repro.schedulers.base import (
     Scheduler,
     SchedulingContext,
     SchedulingDecision,
-    interleave_by_job,
+    flatten_stage_tasks,
 )
 from repro.schedulers.priors import ApplicationPriors
 
@@ -42,4 +42,4 @@ class SjfScheduler(Scheduler):
                 key=lambda s: (job.stage_depth(s.stage_id), s.stage_id),
             )
             stages.extend(job_stages)
-        return SchedulingDecision.from_tasks(interleave_by_job(stages))
+        return SchedulingDecision.from_tasks(flatten_stage_tasks(stages))

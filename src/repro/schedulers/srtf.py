@@ -15,7 +15,7 @@ from repro.schedulers.base import (
     Scheduler,
     SchedulingContext,
     SchedulingDecision,
-    interleave_by_job,
+    flatten_stage_tasks,
 )
 from repro.schedulers.priors import ApplicationPriors
 
@@ -78,4 +78,4 @@ class SrtfScheduler(Scheduler):
                 key=lambda s: (job.stage_depth(s.stage_id), s.stage_id),
             )
             stages.extend(job_stages)
-        return SchedulingDecision.from_tasks(interleave_by_job(stages)), remaining
+        return SchedulingDecision.from_tasks(flatten_stage_tasks(stages)), remaining

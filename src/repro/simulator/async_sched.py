@@ -11,10 +11,14 @@ on a cluster that has moved on.  This module models that regime:
   latency profile.
 * :class:`AsyncSchedulerBackend` snapshots the
   :class:`~repro.schedulers.base.SchedulingContext` at decision-request
-  time (a deep copy, so later live mutations cannot leak into the view),
-  invokes the scheduler against the snapshot, and holds the resulting
-  decision *in flight* until ``t + latency``, when the engine applies it
-  against the **live** cluster.
+  time — a copy-on-write view by default, or a deep copy under the
+  ``snapshot_policy="deepcopy"`` oracle; either way later live mutations
+  cannot leak into the view — invokes the scheduler against the snapshot,
+  and holds the resulting decision *in flight* until ``t + latency``, when
+  the engine applies it against the **live** cluster.  The snapshot's
+  lifetime is the ``schedule()`` call: the in-flight record keeps only the
+  decision (plus the snapshot's free-slot counts), so under COW the
+  per-mutation copy cost drops to zero the moment the scheduler returns.
 * Conflict resolution happens at apply time: tasks that are no longer
   pending (placed by an earlier decision, finished, or their job left the
   cluster) are dropped and metered as stale placements; tasks that are
@@ -242,9 +246,17 @@ class AsyncSchedulerBackend:
         Returns the decision directly when it is synchronous (latency within
         ``eps`` in non-pipelined mode) — the caller applies it immediately,
         exactly like the synchronous engine.  Otherwise the scheduler runs
-        against a deep snapshot, the decision goes in flight, and ``None``
-        is returned; the caller collects it from :meth:`pop_due` once the
+        against a snapshot, the decision goes in flight, and ``None`` is
+        returned; the caller collects it from :meth:`pop_due` once the
         clock reaches ``now + latency``.
+
+        This is the *only* snapshot call site in the async machinery, and
+        ``context`` is always the live context freshly built by the engine's
+        dispatch pass — never an earlier snapshot.  In pipelined mode each
+        of the up-to-``max_in_flight`` outstanding decisions therefore got
+        its own independent snapshot of a *live* context; no path
+        re-snapshots an existing snapshot (``snapshot()`` raises if one
+        ever does).
         """
         latency = self.model.latency(context)
         if latency < 0:

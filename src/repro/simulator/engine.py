@@ -11,9 +11,11 @@ numbers of the paper's Table I), applies any preemption directives the
 decision carries (checkpointing running tasks back to pending with work
 conserved), and walks the returned preference lists, asking the placement
 policy for a pool per task.  With an async backend the invocation runs
-against a deep snapshot instead, the decision waits out a configurable
-latency in flight, and its application against the live cluster resolves
-whatever changed in the meantime (see :meth:`_apply_async_decision`).
+against a frozen snapshot instead (copy-on-write by default, deep copy
+under ``SimulationConfig(snapshot_policy="deepcopy")``), the decision
+waits out a configurable latency in flight, and its application against
+the live cluster resolves whatever changed in the meantime (see
+:meth:`_apply_async_decision`).
 
 Event core
 ----------
@@ -64,6 +66,7 @@ from repro.schedulers.base import (
     SchedulingContext,
     SchedulingDecision,
 )
+from repro.schedulers.snapshot import CowSnapshotTracker
 from repro.simulator.async_sched import AsyncSchedulerBackend
 from repro.simulator.autoscaler import ThresholdAutoscaler
 from repro.simulator.cluster import Cluster, ClusterConfig
@@ -104,11 +107,20 @@ class SimulationConfig:
     ``eps`` is the shared tolerance used for time comparisons and for the
     remaining-work threshold below which an LLM task counts as finished
     (previously a hard-coded ``1e-6`` in the completion scan).
+
+    ``snapshot_policy`` selects how :meth:`SchedulingContext.snapshot`
+    isolates async decisions from live mutations: ``"cow"`` (default) hands
+    out copy-on-write views whose jobs are copied only when the engine
+    mutates them while the snapshot is alive; ``"deepcopy"`` keeps the
+    original wholesale deep copy as the golden oracle (observationally
+    identical, verified by tests/test_context_snapshot.py, and O(jobs x
+    stages x tasks) slower per scheduling pass).
     """
 
     max_simulated_time: float = 10_000_000.0
     max_iterations: int = 20_000_000
     eps: float = _EPS
+    snapshot_policy: str = "cow"
 
     def __post_init__(self) -> None:
         if self.max_simulated_time <= 0:
@@ -117,6 +129,10 @@ class SimulationConfig:
             raise ValueError("max_iterations must be > 0")
         if self.eps <= 0:
             raise ValueError("eps must be > 0")
+        if self.snapshot_policy not in ("cow", "deepcopy"):
+            raise ValueError(
+                f"snapshot_policy must be 'cow' or 'deepcopy', got {self.snapshot_policy!r}"
+            )
 
 
 class SimulationEngine:
@@ -184,6 +200,15 @@ class SimulationEngine:
         self._llm_best: List[Optional[Task]] = [None] * len(cluster.llm_executors)
         self._dirty_llm: Set[int] = set(range(len(cluster.llm_executors)))
 
+        # Copy-on-write snapshot support: live contexts built by this engine
+        # carry the tracker, so context.snapshot() returns a sharing view and
+        # every job-mutation site below calls _mark_job_dirty first.  With
+        # snapshot_policy="deepcopy" the tracker is None and snapshot()
+        # falls back to the wholesale deep copy (the golden oracle).
+        self._cow: Optional[CowSnapshotTracker] = (
+            CowSnapshotTracker() if self.config.snapshot_policy == "cow" else None
+        )
+
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
@@ -219,7 +244,7 @@ class SimulationEngine:
             self._check_for_deadlock()
             return False
         self._time = max(self._time, next_time)
-        self.cluster.advance_to(self._time)
+        self.advance_cluster_to(self._time)
         self._process_completions(self._time)
         if (
             self.autoscaler is not None
@@ -244,6 +269,40 @@ class SimulationEngine:
     def num_active_jobs(self) -> int:
         """Jobs admitted and not yet finished (open-loop memory footprint)."""
         return len(self._active_jobs)
+
+    # ------------------------------------------------------------------ #
+    # Copy-on-write snapshot maintenance
+    # ------------------------------------------------------------------ #
+    def _mark_job_dirty(self, job: Job) -> None:
+        """Copy ``job`` into live COW snapshots before mutating it.
+
+        Every engine code path that mutates a job's observable state
+        (task placement, progress accrual, completion, preemption,
+        migration) must call this *first*.  A no-op when the run uses the
+        deep-copy oracle or when no snapshot is currently alive — i.e. in
+        steady state this costs one dict-emptiness check.
+        """
+        if self._cow is not None:
+            self._cow.mark_dirty(job)
+
+    def advance_cluster_to(self, time: float) -> None:
+        """Accrue executor progress up to ``time`` (COW-safely).
+
+        Progress accrual mutates the tasks currently running on LLM
+        executors (regular tasks only mutate at place/finish/preempt), so
+        their owning jobs are copied into live snapshots first.  All
+        callers that used to call ``cluster.advance_to`` directly — the
+        step loop here and the federation's phase drivers — go through
+        this wrapper so dirty-marking can never be bypassed.
+        """
+        cow = self._cow
+        if cow is not None and cow.active:
+            for executor in self.cluster.llm_executors:
+                for task in executor.running:
+                    job = self._active_jobs.get(task.job_id)
+                    if job is not None:
+                        cow.mark_dirty(job)
+        self.cluster.advance_to(time)
 
     # ------------------------------------------------------------------ #
     # Arrivals
@@ -300,6 +359,7 @@ class SimulationEngine:
             context.shard_count = self.shard_count
             if self.fleet_free_slots is not None:
                 context.fleet_free_slots = self.fleet_free_slots()
+        context._cow_tracker = self._cow
         return context
 
     def _dispatch(self) -> None:
@@ -432,7 +492,14 @@ class SimulationEngine:
                     self.metrics.record_placement_conflict()
 
     def _resolve_live_task(self, task: Task) -> Optional[Task]:
-        """Live counterpart of a snapshot task (None if its job is gone)."""
+        """Live counterpart of a snapshot task (None if its job is gone).
+
+        Resolution is by (job_id, stage_id, index) key and reads nothing
+        but those immutable identity fields, so it is correct regardless of
+        what the snapshot handed out: a deep copy, a COW clone, or — when
+        the job was never mutated while the snapshot lived — the live task
+        object itself.
+        """
         job = self._active_jobs.get(task.job_id)
         if job is None:
             return None
@@ -467,9 +534,18 @@ class SimulationEngine:
                 return  # completing at this very instant; let it finish
         else:
             llm_index = self.cluster.llm_index(task.executor_id)
+            # advance_to accrues progress on *every* task in the batch;
+            # their jobs must land in live snapshots pre-mutation too.
+            cow = self._cow
+            if cow is not None and cow.active:
+                for running in executor.running:
+                    batch_job = self._active_jobs.get(running.job_id)
+                    if batch_job is not None:
+                        cow.mark_dirty(batch_job)
             executor.advance_to(self._time)
             if task.remaining_work <= eps:
                 return  # effectively done; the completion sweep will take it
+        self._mark_job_dirty(job)
         wasted = self.cluster.preempt_task(task, self._time, checkpoint=directive.checkpoint)
         if llm_index is not None:
             self._dirty_llm.add(llm_index)
@@ -490,6 +566,7 @@ class SimulationEngine:
         stage = job.stage(task.stage_id)
         if stage.state not in (StageState.READY, StageState.RUNNING) or not stage.visible:
             return False  # Not actually schedulable; ignore the preference entry.
+        self._mark_job_dirty(job)
         pool = self.placement.select_pool(self.cluster, task)
         placed = pool.assign(task, self._time) if pool is not None else None
         if placed is None:
@@ -615,6 +692,11 @@ class SimulationEngine:
             due.append(event.payload)
         for index in sorted(set(due)):
             executor = self.cluster.regular_executors[index]
+            current = executor.current_task
+            if current is not None:
+                job = self._active_jobs.get(current.job_id)
+                if job is not None:
+                    self._mark_job_dirty(job)
             finished_tasks.append(self.cluster.finish_regular_task(executor, now))
 
         # LLM executors: the cached candidate is the batch's least-remaining
@@ -630,6 +712,9 @@ class SimulationEngine:
                 continue
             for task in list(executor.running):
                 if task.remaining_work <= eps:
+                    job = self._active_jobs.get(task.job_id)
+                    if job is not None:
+                        self._mark_job_dirty(job)
                     self.cluster.finish_llm_task(executor, task, now, eps=eps)
                     finished_tasks.append(task)
             self._dirty_llm.add(index)

@@ -667,7 +667,7 @@ class FederatedSimulationEngine:
             shard = shards[index]
             engine = shard.engine
             engine._time = self._time
-            engine.cluster.advance_to(self._time)
+            engine.advance_cluster_to(self._time)
             engine._admit_arrivals(self._time)
             if engine.async_backend is not None:
                 engine._apply_due_decisions(self._time)
@@ -691,7 +691,7 @@ class FederatedSimulationEngine:
                 continue
             engine = shard.engine
             engine._time = self._time
-            engine.cluster.advance_to(self._time)
+            engine.advance_cluster_to(self._time)
             engine._process_completions(self._time)
             if (
                 engine.autoscaler is not None
@@ -869,7 +869,7 @@ class FederatedSimulationEngine:
             return False
         engine = source.engine
         engine._time = now
-        engine.cluster.advance_to(now)
+        engine.advance_cluster_to(now)
         running = [
             task
             for stage in job.unfinished_stages()
@@ -886,6 +886,10 @@ class FederatedSimulationEngine:
             # idling until the shard's next (possibly far-future) event.
             self._due.add(source.index)
             return False
+        # The job changes hands: any live snapshot on the *source* shard
+        # must freeze its pre-migration state now, because from here on the
+        # target engine mutates it and the source tracker never sees it again.
+        engine._mark_job_dirty(job)
         del engine._active_jobs[job.job_id]
         job.invalidate_schedulable_cache()
         engine.metrics.record_migration_out()

@@ -1,19 +1,27 @@
 """Property-based tests: a context snapshot is immune to live mutations.
 
-The asynchronous backend hands schedulers a deep snapshot of the
+The asynchronous backend hands schedulers a frozen snapshot of the
 :class:`~repro.schedulers.base.SchedulingContext`; whatever the live
 simulation does during the decision's latency window — placing tasks,
 finishing them, preempting, admitting arrivals — the pending decision's
 view must not change.  Hypothesis drives randomized workloads through a
 randomized number of engine steps between snapshot and check.
+
+Two snapshot implementations are under test (``SimulationConfig.
+snapshot_policy``): the copy-on-write default, whose job entries share
+live objects until the engine mutates them, and the wholesale deep copy
+kept as the golden oracle.  The immunity property must hold for both, and
+the two must be *observationally identical* at every mutation step — that
+equivalence property is the license to ship COW as the default.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.schedulers.fcfs import FcfsScheduler
 from repro.simulator.cluster import Cluster, ClusterConfig
-from repro.simulator.engine import SimulationEngine
+from repro.simulator.engine import SimulationConfig, SimulationEngine
 from repro.workloads.mixtures import (
     WorkloadSpec,
     WorkloadType,
@@ -23,9 +31,10 @@ from repro.workloads.mixtures import (
 
 APPLICATIONS = default_applications()
 CLUSTER = ClusterConfig(num_regular_executors=2, num_llm_executors=1, max_batch_size=4)
+POLICIES = ("cow", "deepcopy")
 
 
-def build_engine(seed, num_jobs, arrival_rate):
+def build_engine(seed, num_jobs, arrival_rate, snapshot_policy="cow"):
     spec = WorkloadSpec(
         workload_type=WorkloadType.MIXED,
         num_jobs=num_jobs,
@@ -33,7 +42,12 @@ def build_engine(seed, num_jobs, arrival_rate):
         seed=seed,
     )
     jobs = generate_workload(spec, applications=APPLICATIONS)
-    return SimulationEngine(jobs, FcfsScheduler(), cluster=Cluster(CLUSTER))
+    return SimulationEngine(
+        jobs,
+        FcfsScheduler(),
+        cluster=Cluster(CLUSTER),
+        config=SimulationConfig(snapshot_policy=snapshot_policy),
+    )
 
 
 def context_digest(context):
@@ -67,6 +81,7 @@ def context_digest(context):
     return digest
 
 
+@pytest.mark.parametrize("policy", POLICIES)
 @settings(max_examples=25, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
@@ -76,9 +91,9 @@ def context_digest(context):
     mutation_steps=st.integers(min_value=1, max_value=40),
 )
 def test_snapshot_survives_live_mutations(
-    seed, num_jobs, arrival_rate, warmup_steps, mutation_steps
+    policy, seed, num_jobs, arrival_rate, warmup_steps, mutation_steps
 ):
-    engine = build_engine(seed, num_jobs, arrival_rate)
+    engine = build_engine(seed, num_jobs, arrival_rate, snapshot_policy=policy)
     for _ in range(warmup_steps):
         if not engine.step():
             break
@@ -96,13 +111,62 @@ def test_snapshot_survives_live_mutations(
     assert context_digest(snapshot) == before
 
 
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_jobs=st.integers(min_value=2, max_value=8),
+    arrival_rate=st.floats(min_value=0.5, max_value=4.0),
+    warmup_steps=st.integers(min_value=1, max_value=12),
+    mutation_steps=st.integers(min_value=1, max_value=30),
+)
+def test_cow_and_deepcopy_snapshots_observationally_identical(
+    seed, num_jobs, arrival_rate, warmup_steps, mutation_steps
+):
+    """The tentpole equivalence property: run the *same* deterministic
+    simulation under both snapshot policies, snapshot both at the same
+    point, then keep stepping both engines in lockstep — the two snapshots
+    must agree observable-field-for-observable-field at every step, and the
+    two live worlds must stay bit-identical (COW bookkeeping must not
+    perturb the simulation itself)."""
+    cow_engine = build_engine(seed, num_jobs, arrival_rate, snapshot_policy="cow")
+    ref_engine = build_engine(seed, num_jobs, arrival_rate, snapshot_policy="deepcopy")
+    for _ in range(warmup_steps):
+        cow_alive = cow_engine.step()
+        ref_alive = ref_engine.step()
+        assert cow_alive == ref_alive
+        if not cow_alive:
+            break
+    cow_snapshot = cow_engine._build_context().snapshot()
+    ref_snapshot = ref_engine._build_context().snapshot()
+    assert context_digest(cow_snapshot) == context_digest(ref_snapshot)
+
+    frozen = context_digest(ref_snapshot)
+    for _ in range(mutation_steps):
+        cow_alive = cow_engine.step()
+        ref_alive = ref_engine.step()
+        assert cow_alive == ref_alive
+        # Interleaved live mutation: after every step, both snapshots must
+        # still show the frozen view, and the live engines must agree.
+        assert context_digest(cow_snapshot) == frozen
+        assert context_digest(ref_snapshot) == frozen
+        assert context_digest(cow_engine._build_context()) == context_digest(
+            ref_engine._build_context()
+        )
+        if not cow_alive:
+            break
+
+
 @settings(max_examples=15, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
     num_jobs=st.integers(min_value=2, max_value=6),
 )
 def test_mutating_snapshot_does_not_leak_into_live(seed, num_jobs):
-    engine = build_engine(seed, num_jobs, arrival_rate=2.0)
+    """Deep-copy oracle only: isolation holds in *both* directions, so even
+    a scheduler that (illegally) scribbles on the snapshot cannot corrupt
+    live state.  COW snapshots are one-directional read-only views — the
+    scheduler contract forbids mutating the context either way."""
+    engine = build_engine(seed, num_jobs, arrival_rate=2.0, snapshot_policy="deepcopy")
     while not engine._active_jobs:
         if not engine.step():
             return  # degenerate draw: every job completed on arrival
@@ -120,12 +184,61 @@ def test_mutating_snapshot_does_not_leak_into_live(seed, num_jobs):
     assert context_digest(engine._build_context()) == live_before
 
 
-def test_snapshot_of_snapshot_is_independent():
-    engine = build_engine(seed=1, num_jobs=3, arrival_rate=2.0)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_snapshot_of_snapshot_raises(policy):
+    """A snapshot is frozen at one instant; re-snapshotting it used to
+    silently re-stamp ``snapshot_time`` (and re-deep-copy) — now it raises."""
+    engine = build_engine(seed=1, num_jobs=3, arrival_rate=2.0, snapshot_policy=policy)
     while not engine._active_jobs:
         assert engine.step()
     first = engine._build_context().snapshot()
-    second = first.snapshot()
-    for job in second.jobs:
-        job.finish_time = -2.0
-    assert all(job.finish_time != -2.0 for job in first.jobs)
+    with pytest.raises(RuntimeError, match="cannot snapshot a snapshot"):
+        first.snapshot()
+
+
+def test_pipelined_cow_snapshots_are_mutually_isolated():
+    """Pipelined async mode keeps up to ``max_in_flight`` snapshots alive at
+    once.  Each must freeze its own instant: materializing a job in one
+    snapshot must never alias (or disturb) another snapshot's view."""
+    engine = build_engine(seed=3, num_jobs=6, arrival_rate=3.0, snapshot_policy="cow")
+    while len(engine._active_jobs) < 2:
+        assert engine.step()
+    first = engine._build_context().snapshot()
+    first_digest = context_digest(first)
+
+    # Advance the live world so the second snapshot freezes a later instant.
+    for _ in range(3):
+        if not engine.step():
+            break
+    second = engine._build_context().snapshot()
+    second_digest = context_digest(second)
+
+    for _ in range(10):
+        if not engine.step():
+            break
+
+    assert context_digest(first) == first_digest
+    assert context_digest(second) == second_digest
+    # Materialized clones are private per snapshot: two snapshot views may
+    # only share a job object while both still alias the *live* one (i.e.
+    # the job was never mutated since the earlier snapshot was taken).
+    live_jobs = {job.job_id: job for job in engine._active_jobs.values()}
+    second_by_id = {job.job_id: job for job in second.jobs}
+    for job in first.jobs:
+        twin = second_by_id.get(job.job_id)
+        if twin is not None and job is twin:
+            assert live_jobs.get(job.job_id) is job
+
+
+def test_cow_tracker_forgets_dead_snapshots():
+    """Dropping a snapshot must drop its bookkeeping: once no snapshot is
+    alive, mark-dirty is a no-op and the tracker holds no references."""
+    engine = build_engine(seed=5, num_jobs=4, arrival_rate=2.0, snapshot_policy="cow")
+    while not engine._active_jobs:
+        assert engine.step()
+    tracker = engine._cow
+    assert tracker is not None and not tracker.active
+    snapshot = engine._build_context().snapshot()
+    assert tracker.active and tracker.num_live_snapshots() == 1
+    del snapshot
+    assert not tracker.active and tracker.num_live_snapshots() == 0

@@ -5,7 +5,13 @@ import pytest
 from repro.dag.job import Job
 from repro.dag.stage import Stage, StageSpec, StageType
 from repro.dag.task import Task, TaskType
-from repro.schedulers.base import SchedulingContext, SchedulingDecision, interleave_by_job
+from repro.schedulers.base import (
+    SchedulingContext,
+    SchedulingDecision,
+    flatten_stage_tasks,
+    interleave_by_job,
+    interleave_tasks,
+)
 from repro.schedulers.priors import ApplicationPriors
 from repro.utils.rng import make_rng
 from repro.workloads import SequenceSortingApplication, WebSearchApplication
@@ -62,12 +68,44 @@ class TestSchedulingContext:
         empty = SchedulingContext(time=0.0, jobs=[])
         assert empty.average_llm_batch_size == 1.0
 
-    def test_interleave_by_job_keeps_order(self):
+    def test_average_llm_batch_size_excludes_idle_executors(self):
+        # Idle executors (batch 0) used to deflate the average — with one
+        # busy executor at batch 4 and three idle ones the old code said
+        # max(1.0, 4/4) = 1.0; a request landing on the busy executor
+        # actually shares a batch of 4.
+        context = SchedulingContext(time=0.0, jobs=[], llm_batch_sizes=[4, 0, 0, 0])
+        assert context.average_llm_batch_size == pytest.approx(4.0)
+        mixed = SchedulingContext(time=0.0, jobs=[], llm_batch_sizes=[0, 2, 0, 4])
+        assert mixed.average_llm_batch_size == pytest.approx(3.0)
+        all_idle = SchedulingContext(time=0.0, jobs=[], llm_batch_sizes=[0, 0])
+        assert all_idle.average_llm_batch_size == 1.0
+
+    def test_flatten_stage_tasks_keeps_order(self):
         job_a = make_job("a")
         job_b = make_job("b")
         stages = job_a.schedulable_stages() + job_b.schedulable_stages()
-        tasks = interleave_by_job(stages)
+        tasks = flatten_stage_tasks(stages)
         assert [t.job_id for t in tasks] == ["a", "b"]
+
+    def test_interleave_tasks_round_robins_across_stages(self):
+        job_a = Job("a", "app", 0.0)
+        job_a.add_stage(Stage(StageSpec("wide", StageType.REGULAR), "a", [1.0, 1.0, 1.0]))
+        job_a.finalize()
+        job_b = Job("b", "app", 0.0)
+        job_b.add_stage(Stage(StageSpec("narrow", StageType.REGULAR), "b", [1.0]))
+        job_b.finalize()
+        stages = job_a.schedulable_stages() + job_b.schedulable_stages()
+        # flatten: all of a's tasks first; interleave: one per stage per round.
+        assert [t.job_id for t in flatten_stage_tasks(stages)] == ["a", "a", "a", "b"]
+        assert [t.job_id for t in interleave_tasks(stages)] == ["a", "b", "a", "a"]
+        assert interleave_tasks([]) == []
+
+    def test_interleave_by_job_is_deprecated_alias(self):
+        job_a = make_job("a")
+        stages = job_a.schedulable_stages()
+        with pytest.warns(DeprecationWarning, match="misnomer"):
+            tasks = interleave_by_job(stages)
+        assert tasks == flatten_stage_tasks(stages)
 
 
 class TestApplicationPriors:

@@ -28,7 +28,7 @@ from repro.simulator.async_sched import (
     create_latency_model,
 )
 from repro.simulator.cluster import Cluster, ClusterConfig
-from repro.simulator.engine import SimulationEngine
+from repro.simulator.engine import SimulationConfig, SimulationEngine
 from repro.simulator.federation import (
     FederatedCluster,
     FederatedSimulationEngine,
@@ -248,12 +248,13 @@ class TestPipelinedMode:
 # Conflict resolution against fabricated stale decisions
 # --------------------------------------------------------------------------- #
 class TestConflictResolution:
-    def _engine_with_context(self, applications):
+    def _engine_with_context(self, applications, snapshot_policy="cow"):
         jobs = generate_workload(SPEC, applications=applications)
         engine = SimulationEngine(
             jobs,
             FcfsScheduler(),
             cluster=Cluster(CLUSTER),
+            config=SimulationConfig(snapshot_policy=snapshot_policy),
             async_backend=AsyncSchedulerBackend(AsyncConfig(latency=1.0)),
         )
         # Drive to the first instant with schedulable work.
@@ -331,7 +332,9 @@ class TestConflictResolution:
         assert draws == [second.model.latency(context) for _ in range(10)]
 
     def test_resolve_live_task_maps_snapshot_copies(self, applications):
-        engine = self._engine_with_context(applications)
+        # Deep-copy oracle: every snapshot task is a copy, and resolution
+        # maps it back onto the right live identity.
+        engine = self._engine_with_context(applications, snapshot_policy="deepcopy")
         snapshot = engine._build_context().snapshot()
         for task in snapshot.schedulable_tasks():
             live = engine._resolve_live_task(task)
@@ -339,6 +342,30 @@ class TestConflictResolution:
             assert live is not task  # a copy was mapped back ...
             assert live.key() == task.key()  # ... onto the right identity
             assert live.state is TaskState.PENDING
+
+    def test_resolve_live_task_on_cow_snapshot(self, applications):
+        # COW view: jobs untouched since the snapshot share live objects, so
+        # resolution is the identity — until the engine mutates the job, at
+        # which point the snapshot keeps a private clone and resolution maps
+        # the clone's tasks back by key exactly like the deep-copy path.
+        engine = self._engine_with_context(applications, snapshot_policy="cow")
+        snapshot = engine._build_context().snapshot()
+        tasks_before = snapshot.schedulable_tasks()
+        assert tasks_before
+        for task in tasks_before:
+            live = engine._resolve_live_task(task)
+            assert live is task  # unmutated job: the view shares live objects
+        # Mutate the live world while the snapshot is alive: placed tasks'
+        # jobs get copied out, so re-reading the snapshot yields clones that
+        # still resolve to the correct live identities.
+        for _ in range(5):
+            if not engine.step():
+                break
+        for task in snapshot.schedulable_tasks():
+            live = engine._resolve_live_task(task)
+            if live is None:
+                continue  # job finished and left the cluster: stale by design
+            assert live.key() == task.key()
 
 
 # --------------------------------------------------------------------------- #
@@ -377,6 +404,42 @@ class TestFederatedAsync:
             async_backend_factory=lambda: AsyncSchedulerBackend(AsyncConfig(latency=0.0)),
         ).run()
         assert federated.job_completion_times == single.job_completion_times
+
+    def _run_sampled_fleet(self, num_shards=2):
+        config = AsyncConfig(latency=SampledLatency([0.1, 0.4, 1.5], seed=13))
+        fleet = FederatedCluster(
+            [(f"s{i}", Cluster(self.CLUSTER)) for i in range(num_shards)],
+            router=LeastLoadedRouter(),
+        )
+        engine = FederatedSimulationEngine(
+            self._stream(),
+            FcfsScheduler,
+            fleet,
+            async_backend_factory=lambda: AsyncSchedulerBackend(config),
+        )
+        metrics = engine.run()
+        backends = [shard.engine.async_backend for shard in engine.federation.shards]
+        return metrics, backends
+
+    def test_sampled_latency_shards_do_not_share_rng_state(self):
+        # The factory hands every shard the *same* AsyncConfig; each backend
+        # must still own a private SampledLatency (private RNG): shared
+        # state would make shard latencies depend on the order in which the
+        # other shards happened to draw, breaking shard-count determinism.
+        _, backends = self._run_sampled_fleet()
+        models = [backend.model for backend in backends]
+        assert len({id(model) for model in models}) == len(models)
+        rngs = [model._rng for model in models]
+        assert len({id(rng) for rng in rngs}) == len(rngs)
+
+    def test_sampled_latency_federated_rerun_is_bit_identical(self):
+        first, _ = self._run_sampled_fleet()
+        second, _ = self._run_sampled_fleet()
+        assert first.job_completion_times == second.job_completion_times
+        assert first.makespan == second.makespan
+        assert {name: m.num_async_decisions for name, m in first.shards.items()} == {
+            name: m.num_async_decisions for name, m in second.shards.items()
+        }
 
 
 class TestStaleViewRouting:
