@@ -51,6 +51,6 @@ def test_bench_fig9c_arrival_rate(benchmark):
         rounds=1,
         iterations=1,
     )
-    for workload, series in result.items():
+    for series in result.values():
         # Paper Fig. 9c: the average JCT grows as jobs arrive more frequently.
         assert series[1.2] >= series[0.6]

@@ -1,0 +1,62 @@
+"""Project-specific static analysis: the invariant linter (REP001-REP006).
+
+Usage::
+
+    python -m repro.analysis src tests              # lint the tree
+    python -m repro.analysis --select REP001,REP006 # only the COW rules
+    python -m repro.analysis --format json          # machine-readable
+
+The rule pack guards the conventions the simulator's correctness rests on
+(see the rule modules for the full rationale):
+
+========  ==========================  ==============================================
+Code      Name                        Invariant
+========  ==========================  ==============================================
+REP001    cow-mutation-discipline     Job/Stage/Task mutations in the engine and
+                                      federation are dominated by mark_dirty /
+                                      _mark_job_dirty or flow through
+                                      advance_cluster_to
+REP002    no-unseeded-randomness      all randomness flows through seeded
+                                      generators (utils.rng), never global state
+REP003    no-wall-clock               simulation code reads only the simulated
+                                      clock (metering sites are pragma'd)
+REP004    no-stray-deepcopy           copy.deepcopy stays confined to the golden
+                                      oracles
+REP005    deterministic-iteration     no unsorted set / raw dict-view iteration on
+                                      the decision path
+REP006    single-snapshot-site        SchedulingContext.snapshot() only at the
+                                      audited AsyncSchedulerBackend.request site
+========  ==========================  ==============================================
+
+Suppress a finding with ``# repro: <CODE>-exempt -- justification`` on the
+flagged line; fixtures impersonate real modules with ``# repro:
+lint-as=<path>`` (see :mod:`repro.analysis.core`).
+"""
+
+from repro.analysis.core import (
+    AnalysisReport,
+    Finding,
+    Module,
+    Rule,
+    all_rules,
+    analyze_paths,
+    iter_python_files,
+    load_module,
+    register_rule,
+    rule_codes,
+    select_rules,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Module",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "iter_python_files",
+    "load_module",
+    "register_rule",
+    "rule_codes",
+    "select_rules",
+]

@@ -1,0 +1,108 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit codes follow the usual linter contract:
+
+* ``0`` — no findings;
+* ``1`` — at least one finding (including ``REP000`` parse failures);
+* ``2`` — usage error (unknown rule code, missing path).
+
+``--format json`` emits a machine-readable report (schema in
+:data:`repro.analysis.core.JSON_SCHEMA_VERSION`) for CI artifacts and
+tooling; the default human format is ``path:line:col: CODE message``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import all_rules, analyze_paths
+
+__all__ = ["main", "build_parser"]
+
+#: Scanned when no paths are given (mirrors the CI invariant-lint job).
+DEFAULT_PATHS = ("src", "tests")
+
+
+def _split_codes(value: str) -> List[str]:
+    return [part.strip().upper() for part in value.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant linter for the repro codebase: COW mutation "
+            "discipline, determinism, and hot-path hygiene (codes REP001-REP006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        type=_split_codes,
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_split_codes,
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--no-default-excludes",
+        action="store_true",
+        help="also descend into the deliberate-violation fixture tree",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, cls in all_rules().items():
+            print(f"{code} {cls.name}: {cls.summary}")
+        return 0
+
+    paths = args.paths or [p for p in DEFAULT_PATHS]
+    try:
+        report = analyze_paths(
+            paths,
+            select=args.select,
+            ignore=args.ignore,
+            use_default_excludes=not args.no_default_excludes,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        sys.stdout.write(report.to_json())
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        noun = "finding" if len(report.findings) == 1 else "findings"
+        print(
+            f"{len(report.findings)} {noun} in {report.files_scanned} files scanned"
+        )
+    return 1 if report.findings else 0

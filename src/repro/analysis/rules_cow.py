@@ -1,0 +1,377 @@
+"""REP001/REP006: the copy-on-write snapshot discipline.
+
+PR 6 made async-decision correctness hinge on two conventions the type
+system cannot see:
+
+* every engine/federation mutation of a ``Job``/``Stage``/``Task`` reachable
+  from a live snapshot must be *preceded* by a ``mark_dirty`` /
+  ``_mark_job_dirty`` call (or routed through the ``advance_cluster_to``
+  wrapper), so the :class:`~repro.schedulers.snapshot.CowSnapshotTracker`
+  can freeze the pre-mutation state into live snapshots first;
+* ``SchedulingContext.snapshot()`` may only be called from the one audited
+  site, ``AsyncSchedulerBackend.request`` — any other caller would mint
+  snapshots the engine does not know how to keep isolated.
+
+REP001 enforces the first with a structured-dominance walk over each
+function: a mutation site is accepted only when a dirty-marking statement
+*dominates* it — an earlier statement in the same block (or an earlier
+sibling of an enclosing block) that always marks before control can reach
+the mutation.  Three statement shapes establish dominance:
+
+1. a direct ``mark_dirty(...)`` / ``_mark_job_dirty(...)`` /
+   ``advance_cluster_to(...)`` call;
+2. an ``if`` whose test references the COW tracker (``cow`` /
+   ``self._cow`` / ``.active``) and whose body marks dirty somewhere —
+   the sanctioned "skip marking when no snapshot is alive" fast path;
+3. an ``if X is (not) None``-shaped guard whose body marks dirty somewhere
+   — the sanctioned "mark if the job is still active" shape;
+4. an ``if``/``else`` where *every* branch either marks dirty or diverges
+   (returns/raises/continues/breaks).
+
+Dirty calls inside one branch of an ordinary conditional, or inside a loop
+body, deliberately do **not** dominate statements after the conditional /
+loop — removing any single ``mark_dirty`` from the engine must make this
+rule fire (that is the acceptance test of the gate).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.core import (
+    Finding,
+    Module,
+    Rule,
+    annotation_mentions,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = ["CowMutationRule", "SnapshotSiteRule"]
+
+#: Calls that establish dominance (mark the job dirty before mutation).
+DIRTY_CALLS = {"mark_dirty", "_mark_job_dirty", "advance_cluster_to"}
+
+#: Methods that mutate a Job/Stage/Task when invoked on a job-like receiver.
+JOB_MUTATORS = {
+    "mark_running",
+    "mark_finished",
+    "mark_preempted",
+    "mark_ready",
+    "mark_skipped",
+    "notify_stage_finished",
+    "advance",
+    "invalidate_schedulable_cache",
+}
+
+#: Cluster/pool/executor methods that mutate tasks (hence jobs) transitively,
+#: flagged regardless of receiver spelling.
+CLUSTER_MUTATORS = {
+    "advance_to",
+    "preempt_task",
+    "finish_regular_task",
+    "finish_llm_task",
+    "preempt_current",
+    "assign",
+}
+
+#: Functions exempt from REP001 wholesale: the dirty-marking primitives
+#: themselves.  ``advance_cluster_to`` is deliberately *not* exempt: its
+#: raw ``cluster.advance_to`` call must stay dominated by the cow-guarded
+#: marking loop above it, so deleting that loop trips the rule too.
+EXEMPT_FUNCTIONS = {"_mark_job_dirty", "mark_dirty", "snapshot_clone"}
+
+_JOB_LIKE_EXACT = {"job", "stage", "task", "live"}
+_JOB_LIKE_SUFFIXES = ("_job", "_stage", "_task")
+_JOB_LIKE_ANNOTATIONS = {"Job", "Stage", "Task"}
+
+
+def _is_job_like_name(name: str) -> bool:
+    return name in _JOB_LIKE_EXACT or name.endswith(_JOB_LIKE_SUFFIXES)
+
+
+def _job_like_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
+    """Parameter names annotated as Job/Stage/Task (string or forward ref)."""
+    names: Set[str] = set()
+    args = fn.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if annotation_mentions(arg.annotation, _JOB_LIKE_ANNOTATIONS):
+            names.add(arg.arg)
+    return names
+
+
+def _receiver_name(node: ast.AST) -> Optional[str]:
+    """The base variable of an attribute access (``job`` in ``job.x.y``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _contains_dirty_call(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name is not None and name.split(".")[-1] in DIRTY_CALLS:
+                return True
+    return False
+
+
+def _is_cow_guard_test(test: ast.AST) -> bool:
+    """A test about COW-tracker liveness (``cow is not None and cow.active``)."""
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Name) and ("cow" in sub.id.lower()):
+            return True
+        if isinstance(sub, ast.Attribute) and (
+            "cow" in sub.attr.lower() or sub.attr == "active"
+        ):
+            return True
+    return False
+
+
+def _is_none_guard_test(test: ast.AST) -> bool:
+    """A test comparing something against ``None`` (liveness guard shape)."""
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Compare):
+            operands = [sub.left, *sub.comparators]
+            if any(isinstance(o, ast.Constant) and o.value is None for o in operands):
+                if all(isinstance(op, (ast.Is, ast.IsNot)) for op in sub.ops):
+                    return True
+    return False
+
+
+def _diverges(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+def _block_covers(stmts: Sequence[ast.stmt]) -> bool:
+    """Every path through the block marks dirty or leaves the function."""
+    for stmt in stmts:
+        if _diverges(stmt):
+            return True
+        if isinstance(stmt, (ast.Expr, ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            if _contains_dirty_call(stmt):
+                return True
+        if isinstance(stmt, ast.If) and _statement_guarantees(stmt):
+            return True
+    return False
+
+
+def _statement_guarantees(stmt: ast.stmt) -> bool:
+    """Whether ``stmt`` establishes dominance for the statements after it."""
+    if isinstance(stmt, (ast.Expr, ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        return _contains_dirty_call(stmt)
+    if isinstance(stmt, ast.If):
+        # Sanctioned guard shapes: the body marks dirty under a condition
+        # that makes not-marking correct (no live snapshot / object gone).
+        if (_is_cow_guard_test(stmt.test) or _is_none_guard_test(stmt.test)) and any(
+            _contains_dirty_call(s) for s in stmt.body
+        ):
+            return True
+        # Full branch coverage: every branch marks or diverges.
+        if stmt.orelse and _block_covers(stmt.body) and _block_covers(stmt.orelse):
+            return True
+        return False
+    if isinstance(stmt, ast.With):
+        return _block_covers(stmt.body)
+    # Loops never dominate past themselves: zero iterations mark nothing.
+    return False
+
+
+@register_rule
+class CowMutationRule(Rule):
+    """Attribute writes / mutating calls on jobs must follow a dirty mark."""
+
+    code = "REP001"
+    name = "cow-mutation-discipline"
+    summary = (
+        "Job/Stage/Task mutations in the engine/federation must be dominated by "
+        "mark_dirty/_mark_job_dirty or flow through advance_cluster_to"
+    )
+
+    _SCOPE = ("simulator/engine.py", "simulator/federation.py")
+    #: Oracle modules: they predate (and deliberately bypass) COW tracking.
+    _ALLOWLIST = ("simulator/reference.py", "schedulers/base.py")
+
+    def applies(self, module: Module) -> bool:
+        if module.scope_endswith(*self._ALLOWLIST):
+            return False
+        return module.scope_endswith(*self._SCOPE)
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for fn in _walk_functions(module.tree):
+            if fn.name in EXEMPT_FUNCTIONS:
+                # The wrapper must still delegate: a `_mark_job_dirty` that
+                # no longer reaches the tracker turns every dominated call
+                # site in this module into a silent no-op.
+                if fn.name == "_mark_job_dirty" and not _contains_dirty_call(fn):
+                    findings.append(
+                        self.finding(
+                            module,
+                            fn,
+                            "`_mark_job_dirty` no longer calls the COW "
+                            "tracker's mark_dirty; every mutation site that "
+                            "relies on it is now unprotected",
+                        )
+                    )
+                continue
+            job_like = _job_like_params(fn) | self._locally_bound_job_like(fn)
+            self._walk_block(module, fn.body, False, job_like, findings)
+        return findings
+
+    # ---------------------------------------------------------------- #
+    def _locally_bound_job_like(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
+        """Names bound from job-producing expressions inside the function."""
+        names: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._produces_job(node.value):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _produces_job(value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        name = dotted_name(value.func) or ""
+        tail = name.split(".")[-1]
+        if tail in {"job_of", "stage"}:
+            return True
+        if "_active_jobs" in name:
+            return True
+        return any(k in tail for k in ("job", "task", "stage"))
+
+    # ---------------------------------------------------------------- #
+    def _walk_block(
+        self,
+        module: Module,
+        stmts: Sequence[ast.stmt],
+        dominated: bool,
+        job_like: Set[str],
+        findings: List[Finding],
+    ) -> bool:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                self._walk_block(module, stmt.body, dominated, job_like, findings)
+                self._walk_block(module, stmt.orelse, dominated, job_like, findings)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self._walk_block(module, stmt.body, dominated, job_like, findings)
+                self._walk_block(module, stmt.orelse, dominated, job_like, findings)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                dominated = self._walk_block(module, stmt.body, dominated, job_like, findings)
+            elif isinstance(stmt, ast.Try):
+                self._walk_block(module, stmt.body, dominated, job_like, findings)
+                for handler in stmt.handlers:
+                    self._walk_block(module, handler.body, dominated, job_like, findings)
+                self._walk_block(module, stmt.orelse, dominated, job_like, findings)
+                self._walk_block(module, stmt.finalbody, dominated, job_like, findings)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                pass  # nested definitions are visited as their own functions
+            else:
+                if not dominated:
+                    for node, what in self._mutations_in(stmt, job_like):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"{what} is not dominated by a mark_dirty/"
+                                "_mark_job_dirty call (same function, earlier "
+                                "statement) and does not flow through "
+                                "advance_cluster_to; a live COW snapshot would "
+                                "observe this mutation",
+                            )
+                        )
+            if _statement_guarantees(stmt):
+                dominated = True
+        return dominated
+
+    def _mutations_in(self, stmt: ast.stmt, job_like: Set[str]):
+        """(node, description) pairs for every mutation inside ``stmt``."""
+        out = []
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    receiver = _receiver_name(target)
+                    if receiver is not None and _is_job_like_name(receiver):
+                        out.append(
+                            (target, f"attribute write `{ast.unparse(target)} = ...`")
+                        )
+        for node in ast.walk(stmt):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            receiver = _receiver_name(node.func)
+            if attr in CLUSTER_MUTATORS:
+                out.append((node, f"mutating call `{ast.unparse(node.func)}(...)`"))
+            elif attr in JOB_MUTATORS and receiver is not None and (
+                _is_job_like_name(receiver) or receiver in job_like
+            ):
+                out.append((node, f"mutating call `{ast.unparse(node.func)}(...)`"))
+        return out
+
+
+@register_rule
+class SnapshotSiteRule(Rule):
+    """``.snapshot()`` may only be called from the audited async request site."""
+
+    code = "REP006"
+    name = "single-snapshot-site"
+    summary = (
+        "SchedulingContext.snapshot() is only audited in "
+        "AsyncSchedulerBackend.request; other call sites mint snapshots the "
+        "engine cannot keep isolated"
+    )
+
+    _AUDITED_MODULE = "simulator/async_sched.py"
+    _AUDITED_FUNCTION = "request"
+
+    def applies(self, module: Module) -> bool:
+        return module.in_src_repro
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        audited_module = module.scope_endswith(self._AUDITED_MODULE)
+        for fn_name, node in _calls_with_function(module.tree):
+            if not (isinstance(node.func, ast.Attribute) and node.func.attr == "snapshot"):
+                continue
+            if node.args or node.keywords:
+                continue  # unrelated snapshot(...) API taking arguments
+            if audited_module and fn_name == self._AUDITED_FUNCTION:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    "`.snapshot()` called outside the audited "
+                    "AsyncSchedulerBackend.request site; new snapshot call "
+                    "sites must be audited for COW lifetime and re-snapshot "
+                    "hazards first",
+                )
+            )
+        return findings
+
+
+def _walk_functions(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _calls_with_function(tree: ast.Module):
+    """(enclosing function name, Call) pairs; module-level calls get ''."""
+
+    def visit(node: ast.AST, fn_name: str):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from visit(child, child.name)
+            else:
+                if isinstance(child, ast.Call):
+                    yield fn_name, child
+                yield from visit(child, fn_name)
+
+    yield from visit(tree, "")

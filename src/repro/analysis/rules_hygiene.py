@@ -1,0 +1,116 @@
+"""REP003/REP004: hot-path hygiene — no wall-clock, no stray deepcopy.
+
+* **REP003** — simulated time is the only clock the library may consult.
+  A ``time.time()``/``datetime.now()`` leaking into a simulation path makes
+  results machine- and load-dependent, which the golden traces cannot catch
+  (they pin *simulated* outputs).  The two sanctioned uses — metering the
+  scheduler-invocation overhead for Table I and the ``Result`` wall-clock
+  field — carry per-line pragmas with justifications.
+* **REP004** — PR 6 exists because a wholesale ``copy.deepcopy`` on the
+  scheduling hot path cost more than the simulation itself.  The only
+  remaining legitimate deepcopy sites are the golden oracles (the reference
+  engine and the ``snapshot_policy="deepcopy"`` branch in
+  ``schedulers/base.py``); any new one is either a perf regression or a
+  mutation-isolation hack that should use ``snapshot_clone``/COW instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, ImportMap, Module, Rule, dotted_name, register_rule
+
+__all__ = ["WallClockRule", "DeepcopyRule"]
+
+
+@register_rule
+class WallClockRule(Rule):
+    """No wall-clock reads in ``src/repro`` outside pragma'd metering sites."""
+
+    code = "REP003"
+    name = "no-wall-clock"
+    summary = (
+        "time.time/monotonic/perf_counter and datetime.now have no place in "
+        "simulation code; only the pragma'd Result/Table-I metering sites may "
+        "read the wall clock"
+    )
+
+    _FORBIDDEN = {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+
+    def applies(self, module: Module) -> bool:
+        return module.in_src_repro
+
+    def check(self, module: Module) -> List[Finding]:
+        imports = ImportMap(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            raw = dotted_name(node.func)
+            if raw is None or raw.split(".")[0] not in imports.aliases:
+                continue
+            resolved = imports.resolve(raw)
+            if resolved in self._FORBIDDEN:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"wall-clock read `{resolved}()` in simulation code; "
+                        "use the simulated clock, or pragma the site if it "
+                        "meters real scheduler overhead",
+                    )
+                )
+        return findings
+
+
+@register_rule
+class DeepcopyRule(Rule):
+    """``copy.deepcopy`` is confined to the golden-oracle modules."""
+
+    code = "REP004"
+    name = "no-stray-deepcopy"
+    summary = (
+        "copy.deepcopy outside the golden oracles (simulator/reference.py, "
+        "the deepcopy snapshot branch in schedulers/base.py) re-introduces "
+        "the O(jobs x stages x tasks) copy PR 6 removed"
+    )
+
+    _ORACLES = ("simulator/reference.py", "schedulers/base.py")
+
+    def applies(self, module: Module) -> bool:
+        return module.in_src_repro and not module.scope_endswith(*self._ORACLES)
+
+    def check(self, module: Module) -> List[Finding]:
+        imports = ImportMap(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            raw = dotted_name(node.func)
+            if raw is None or raw.split(".")[0] not in imports.aliases:
+                continue
+            if imports.resolve(raw) == "copy.deepcopy":
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "copy.deepcopy outside the oracle allowlist; use "
+                        "Job/Stage/Task.snapshot_clone (structural copy) or "
+                        "the COW snapshot machinery instead",
+                    )
+                )
+        return findings

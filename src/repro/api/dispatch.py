@@ -40,7 +40,7 @@ from repro.schedulers.registry import (
 from repro.simulator.async_sched import AsyncConfig, AsyncSchedulerBackend
 from repro.simulator.autoscaler import ThresholdAutoscaler
 from repro.simulator.cluster import Cluster, ClusterConfig
-from repro.simulator.engine import SimulationEngine
+from repro.simulator.engine import SimulationConfig, SimulationEngine
 from repro.simulator.federation import (
     FederatedCluster,
     FederatedSimulationEngine,
@@ -146,14 +146,14 @@ def run(
     if total_config is not None and spec.cluster.config is None:
         resolved = replace(spec, cluster=replace(spec.cluster, config=total_config))
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: REP003-exempt -- meters the Result wall-clock field, outside the simulation
     if spec.cluster.num_shards > 1:
         metrics = _run_federated(resolved, applications, priors, profiler, router, async_config)
     else:
         metrics = _run_single(
             resolved, applications, priors, profiler, placement, autoscaler, async_config
         )
-    wall_clock = time.perf_counter() - started
+    wall_clock = time.perf_counter() - started  # repro: REP003-exempt -- meters the Result wall-clock field, outside the simulation
     return Result(
         spec=resolved, metrics=metrics, seed=spec.workload.seed, wall_clock_sec=wall_clock
     )
@@ -176,6 +176,7 @@ def _run_single(spec, applications, priors, profiler, placement, autoscaler, asy
             jobs,
             _make_scheduler(spec, priors, profiler),
             cluster=cluster,
+            config=SimulationConfig(snapshot_policy=spec.settings.snapshot_policy),
             workload_name=workload_name,
             placement=placement,
             autoscaler=autoscaler,
@@ -203,6 +204,7 @@ def _run_federated(spec, applications, priors, profiler, router, async_config):
             spec.workload.to_open_loop_spec().jobs(dict(applications)),
             lambda: _make_scheduler(spec, priors, profiler),
             fleet,
+            config=SimulationConfig(snapshot_policy=spec.settings.snapshot_policy),
             workload_name=spec.workload.name,
             migration=section.migration,
             async_backend_factory=(

@@ -45,7 +45,7 @@ def expand_axes(
             raise ValueError(f"grid axis {name!r} must provide at least one value")
     cells: List[Tuple[Dict[str, object], ScenarioSpec]] = []
     for combo in itertools.product(*(axes[name] for name in names)):
-        overrides = dict(zip(names, combo))
+        overrides = dict(zip(names, combo, strict=True))
         cells.append((overrides, with_overrides(base_spec, overrides)))
     return cells
 
@@ -123,4 +123,4 @@ def run_grid(
     """
     cells = expand_axes(base_spec, axes)
     results = run_specs([spec for _, spec in cells], processes=processes)
-    return [(overrides, result) for (overrides, _), result in zip(cells, results)]
+    return [(overrides, result) for (overrides, _), result in zip(cells, results, strict=True)]

@@ -55,11 +55,19 @@ class ExperimentSettings:
     profile_jobs: int = 150
     prior_samples: int = 100
     profiler_seed: int = 77
+    #: How async decisions are isolated from live mutations: "cow" hands out
+    #: copy-on-write context snapshots, "deepcopy" the golden-oracle wholesale
+    #: copy (bit-identical, O(jobs x stages x tasks) slower per pass).
+    snapshot_policy: str = "cow"
     llmsched: LLMSchedConfig = field(default_factory=LLMSchedConfig)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_load <= 2.0:
             raise ValueError("target_load must be within (0, 2]")
+        if self.snapshot_policy not in ("cow", "deepcopy"):
+            raise ValueError(
+                f"snapshot_policy must be 'cow' or 'deepcopy', got {self.snapshot_policy!r}"
+            )
 
 
 def build_priors(

@@ -172,7 +172,7 @@ class DiscreteFactor:
             yield {}, float(self.values)
             return
         for index in np.ndindex(*self.values.shape):
-            yield dict(zip(self.variables, (int(i) for i in index))), float(self.values[index])
+            yield dict(zip(self.variables, (int(i) for i in index), strict=True)), float(self.values[index])
 
     @property
     def total(self) -> float:

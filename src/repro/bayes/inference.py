@@ -104,7 +104,7 @@ class VariableElimination:
         factor = self.query(variables, evidence)
         flat_index = int(np.argmax(factor.values))
         unravelled = np.unravel_index(flat_index, factor.values.shape)
-        return {var: int(state) for var, state in zip(factor.variables, unravelled)}
+        return {var: int(state) for var, state in zip(factor.variables, unravelled, strict=True)}
 
     def expected_value(
         self,

@@ -187,7 +187,7 @@ class DiscreteBayesianNetwork:
             clone.add_node(node, self._cardinalities[node], self._state_labels[node])
         for parent, child in self.edges:
             clone.add_edge(parent, child)
-        for node, cpd in self._cpds.items():
+        for cpd in self._cpds.values():
             clone.set_cpd(cpd)
         return clone
 

@@ -234,7 +234,7 @@ class LLMSchedScheduler(Scheduler):
                     add_tasks(stage_t.pending_tasks())
 
         # Line 21: attach every remaining task, SRTF stages first.
-        for job, stage in srtf_queue + exploration_queue + srtf_stages + exploration_stages:
+        for _job, stage in srtf_queue + exploration_queue + srtf_stages + exploration_stages:
             add_tasks(stage.pending_tasks())
 
         return SchedulingDecision.from_tasks(ordered_tasks)

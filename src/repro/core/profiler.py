@@ -458,7 +458,7 @@ class BayesianProfiler:
                 reduction += mi * range_sum
 
         # Dynamic-stage bonus for the preceding LLM (planner) stage.
-        for dyn_key, (preceding, entropy, duration_range) in profile.dynamic_info.items():
+        for preceding, entropy, duration_range in profile.dynamic_info.values():
             if stage_profile_key == preceding and preceding not in evidence:
                 reduction += entropy * duration_range
 

@@ -305,7 +305,7 @@ def run_cells_parallel(
     results = _api_run_specs(
         [_cell_spec(cell, settings) for cell in cells], processes=processes
     )
-    return [(cell, result.metrics) for cell, result in zip(cells, results)]
+    return [(cell, result.metrics) for cell, result in zip(cells, results, strict=True)]
 
 
 def sweep_arrival_rates(

@@ -12,7 +12,7 @@ to special-case construction.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import TYPE_CHECKING, FrozenSet, List, Optional
+from typing import TYPE_CHECKING, FrozenSet, List, Mapping, Optional
 
 from repro.schedulers.argus import ArgusScheduler
 from repro.schedulers.base import Scheduler
@@ -105,7 +105,7 @@ def scheduler_requirements(name: str) -> FrozenSet[str]:
     )
 
 
-def check_scheduler_kwargs(name: str, kwargs) -> None:
+def check_scheduler_kwargs(name: str, kwargs: Mapping[str, object]) -> None:
     """Reject kwargs the named scheduler cannot accept, with the valid set.
 
     For the LLMSched family the kwargs override
@@ -188,7 +188,12 @@ def create_scheduler(
     )
 
 
-def _create_llmsched(key: str, profiler, settings, **kwargs) -> Scheduler:
+def _create_llmsched(
+    key: str,
+    profiler: Optional["BayesianProfiler"],
+    settings: Optional["ExperimentSettings"],
+    **kwargs: object,
+) -> Scheduler:
     # Imported lazily to avoid a circular import (core depends on schedulers).
     from repro.core.calibration import BatchingAwareCalibrator
     from repro.core.llmsched import LLMSchedConfig, LLMSchedScheduler

@@ -7,7 +7,7 @@ component inside LLMSched's Algorithm 1 and also serves as the
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dag.job import Job
 from repro.dag.stage import Stage
@@ -57,7 +57,9 @@ class SrtfScheduler(Scheduler):
     def schedule(self, context: SchedulingContext) -> SchedulingDecision:
         return self._schedule_with_remaining(context)[0]
 
-    def _schedule_with_remaining(self, context: SchedulingContext):
+    def _schedule_with_remaining(
+        self, context: SchedulingContext
+    ) -> Tuple[SchedulingDecision, Dict[str, float]]:
         """(decision, job_id → estimated remaining) for one scheduling pass.
 
         The estimate map is computed once and shared — the preemptive

@@ -393,9 +393,9 @@ class SimulationEngine:
 
     def _timed_schedule(self, context: SchedulingContext) -> SchedulingDecision:
         """One scheduler invocation, wall-clock timed for Table I."""
-        started = wallclock.perf_counter()
+        started = wallclock.perf_counter()  # repro: REP003-exempt -- meters real scheduler overhead (Table I), never feeds simulated time
         decision = self.scheduler.schedule(context)
-        overhead = wallclock.perf_counter() - started
+        overhead = wallclock.perf_counter() - started  # repro: REP003-exempt -- meters real scheduler overhead (Table I), never feeds simulated time
         self.metrics.record_scheduler_invocation(overhead)
         return decision
 
@@ -612,7 +612,10 @@ class SimulationEngine:
             # Cluster.scale_pool calls, e.g. from a scheduler hook).
             self._sync_llm_views()
         if self._dirty_llm:
-            for index in self._dirty_llm:
+            # Sorted so the rescan order is reproducible: the per-index cache
+            # writes are independent, but iterating the raw set would leave
+            # the only hash-ordered loop in the event core.
+            for index in sorted(self._dirty_llm):
                 upcoming = self.cluster.llm_executors[index].next_completion()
                 self._llm_best[index] = None if upcoming is None else upcoming[1]
             self._dirty_llm.clear()
@@ -726,6 +729,10 @@ class SimulationEngine:
                 continue
             stage = job.stage(task.stage_id)
             if stage.all_tasks_finished() and stage.state is StageState.RUNNING:
+                # Already copied into live snapshots when its finishing task
+                # was processed above; re-marking is an O(1) no-op and keeps
+                # the mutation locally preceded by its dirty mark.
+                self._mark_job_dirty(job)
                 job.notify_stage_finished(stage.stage_id, now)
                 self.scheduler.on_stage_complete(job, stage, now)
                 if job.is_finished:

@@ -213,8 +213,8 @@ class TypeAffinityRouter(JobRouter):
         self._fallback = fallback or LeastLoadedRouter()
 
     def select_shard(self, shards: Sequence["FederatedShard"], job: Job) -> int:
-        llm_work = sum(s.duration for s in job.stages.values() if s.is_llm)
-        total_work = sum(s.duration for s in job.stages.values())
+        llm_work = sum(s.duration for s in job.stages.values() if s.is_llm)  # repro: REP005-exempt -- insertion-ordered stage dict; sorting would change float-summation order and the golden traces
+        total_work = sum(s.duration for s in job.stages.values())  # repro: REP005-exempt -- insertion-ordered stage dict; sorting would change float-summation order and the golden traces
         dominant = TaskType.LLM if llm_work > 0.5 * total_work else TaskType.REGULAR
         capable = self._capable(shards, job)
         best = max(capable, key=lambda i: (shards[i].free_slots(dominant), -shards[i].load(), -i))
@@ -590,7 +590,7 @@ class FederatedSimulationEngine:
             router_name=federation.router.name,
         )
         fleet_free = federation.free_slots_by_type
-        for shard, scheduler in zip(shards, instances):
+        for shard, scheduler in zip(shards, instances, strict=True):
             engine = SimulationEngine(
                 shard.feed,
                 scheduler,

@@ -137,9 +137,9 @@ class ReferenceSimulationEngine:
         if not context.schedulable_tasks():
             return
 
-        started = wallclock.perf_counter()
+        started = wallclock.perf_counter()  # repro: REP003-exempt -- meters real scheduler overhead (Table I), never feeds simulated time
         decision = self.scheduler.schedule(context)
-        overhead = wallclock.perf_counter() - started
+        overhead = wallclock.perf_counter() - started  # repro: REP003-exempt -- meters real scheduler overhead (Table I), never feeds simulated time
         self.metrics.record_scheduler_invocation(overhead)
 
         for task in decision.regular_tasks:

@@ -141,7 +141,7 @@ def generate_workload(
     rng.shuffle(assignment)
 
     jobs: List[Job] = []
-    for index, (arrival, app_name) in enumerate(zip(arrivals, assignment)):
+    for index, (arrival, app_name) in enumerate(zip(arrivals, assignment, strict=True)):
         app = applications[app_name]
         job = app.sample_job(f"job-{index:04d}", float(arrival), rng)
         jobs.append(job)

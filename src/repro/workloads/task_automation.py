@@ -158,7 +158,7 @@ class TaskAutomationApplication(ApplicationTemplate):
             reveals.append((self.PLAN_KEY, stage_id))
 
         # Dependencies between consecutive selected tools (sequential plans).
-        for left, right in zip(selected[:-1], selected[1:]):
+        for left, right in zip(selected[:-1], selected[1:], strict=True):
             if rng.random() < self.EDGE_PROBABILITY:
                 edges.append((f"tool_{left}", f"tool_{right}"))
 

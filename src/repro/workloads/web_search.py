@@ -47,7 +47,7 @@ class WebSearchApplication(ApplicationTemplate):
 
     def profile_edges(self) -> List[Tuple[str, str]]:
         variables = self.profile_variables()
-        return list(zip(variables[:-1], variables[1:]))
+        return list(zip(variables[:-1], variables[1:], strict=True))
 
     def llm_profile_keys(self) -> List[str]:
         return [v for v in self.profile_variables() if v.startswith("ws_think")]

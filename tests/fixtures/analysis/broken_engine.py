@@ -1,0 +1,26 @@
+# repro: lint-as=src/repro/simulator/engine.py
+"""The gate-bites fixture: one seeded violation for each of REP001-REP006.
+
+``tests/test_analysis_rules.py`` asserts the analyzer reports *exactly* the
+six codes on this file; if a rule rots and stops firing here, tier 1 fails.
+"""
+
+import copy
+import time
+
+import numpy as np
+
+
+class _BrokenEngine:
+    def place(self, job, stage):
+        stage.mark_running()  # REP001: no dominating dirty mark
+        job.invalidate_schedulable_cache()  # REP001
+
+    def schedule(self, context):
+        rng = np.random.default_rng()  # REP002: entropy-seeded
+        started = time.time()  # REP003: wall clock
+        plan = copy.deepcopy(context)  # REP004: stray deepcopy
+        frozen = context.snapshot()  # REP006: unaudited snapshot site
+        ready = {task.key() for task in context.tasks}
+        ordered = [task for task in ready]  # REP005: set iteration
+        return rng, started, plan, frozen, ordered

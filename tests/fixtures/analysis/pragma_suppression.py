@@ -1,0 +1,18 @@
+# repro: lint-as=src/repro/simulator/suppressed_fixture.py
+"""Violations from several rules, each silenced by a per-line pragma."""
+
+import copy
+import time
+
+import numpy as np
+
+
+def all_suppressed(jobs):
+    started = time.time()  # repro: REP003-exempt -- fixture: suppression under test
+    rng = np.random.default_rng()  # repro: REP002-exempt -- fixture: suppression under test
+    clone = copy.deepcopy(jobs)  # repro: REP004-exempt -- fixture: suppression under test
+    return started, rng, clone
+
+
+def multi_code_line(jobs):
+    return time.time(), copy.deepcopy(jobs)  # repro: REP003-exempt,REP004-exempt -- fixture

@@ -1,0 +1,35 @@
+# repro: lint-as=src/repro/simulator/engine.py
+"""Every dominance shape REP001 sanctions, one per method — must stay quiet."""
+
+
+class _CleanEngine:
+    def direct_mark(self, job):
+        self._mark_job_dirty(job)
+        job.advance(2.0)
+
+    def cow_guard(self, job):
+        cow = self._cow
+        if cow is not None and cow.active:
+            cow.mark_dirty(job)
+        job.invalidate_schedulable_cache()
+
+    def none_guard(self, job_id, now):
+        job = self._active_jobs.get(job_id)
+        if job is not None:
+            self._mark_job_dirty(job)
+        self.cluster.advance_to(now)
+
+    def full_branch_coverage(self, job, done):
+        if done:
+            self._mark_job_dirty(job)
+        else:
+            return
+        job.notify_stage_finished("s0", 0.0)
+
+    def through_wrapper(self, now):
+        self.advance_cluster_to(now)
+
+    def loop_mark_inside(self, jobs):
+        for job in jobs:
+            self._mark_job_dirty(job)
+            job.advance(1.0)

@@ -1,0 +1,30 @@
+# repro: lint-as=src/repro/simulator/engine.py
+"""Deliberate REP001 violations: job mutations with no dominating dirty mark.
+
+Each method mutates a Job/Stage/Task (or calls a cluster mutator that does so
+transitively) without a dirty-marking statement in a dominating position.
+``tests/test_analysis_rules.py`` pins the exact finding count.
+"""
+
+
+class _BrokenEngine:
+    def unmarked_attribute_write(self, job):
+        job.deadline = 12.0
+
+    def unmarked_mutating_call(self, job):
+        job.invalidate_schedulable_cache()
+
+    def unmarked_cluster_mutation(self, when):
+        self.cluster.advance_to(when)
+
+    def branch_local_mark(self, job, fast):
+        if fast:
+            self._mark_job_dirty(job)
+        # Marking in one branch of a plain conditional does not dominate.
+        job.notify_stage_finished("s0", 1.0)
+
+    def loop_local_mark(self, jobs):
+        for job in jobs:
+            self._mark_job_dirty(job)
+        # A loop body never dominates past the loop (zero iterations).
+        job.advance(1.0)

@@ -1,0 +1,22 @@
+# repro: lint-as=src/repro/workloads/seeded_fixture.py
+"""Seeded randomness in every sanctioned spelling — REP002 must stay quiet."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def seeded_from_import(seed):
+    return default_rng(seed)
+
+
+def seed_sequence(entropy):
+    return np.random.SeedSequence(entropy)
+
+
+def draws(rng, n):
+    # Calls on a Generator instance are not module-level global state.
+    return rng.normal(size=n)

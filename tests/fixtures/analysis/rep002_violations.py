@@ -1,0 +1,18 @@
+# repro: lint-as=src/repro/workloads/unseeded_fixture.py
+"""Deliberate REP002 violations: unseeded / global-state randomness."""
+
+import random
+
+import numpy as np
+
+
+def entropy_seeded_generator():
+    return np.random.default_rng()
+
+
+def global_numpy_state(n):
+    return np.random.rand(n)
+
+
+def global_random_module():
+    return random.random()

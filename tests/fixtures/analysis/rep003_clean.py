@@ -1,0 +1,13 @@
+# repro: lint-as=src/repro/simulator/metered_fixture.py
+"""Sanctioned wall-clock uses: pragma'd metering plus non-clock time APIs."""
+
+import time
+
+
+def metered_overhead():
+    started = time.perf_counter()  # repro: REP003-exempt -- fixture: metering pragma
+    return time.perf_counter() - started  # repro: REP003-exempt -- fixture: metering pragma
+
+
+def not_a_clock(duration):
+    time.sleep(duration)

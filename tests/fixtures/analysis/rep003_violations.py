@@ -1,0 +1,19 @@
+# repro: lint-as=src/repro/simulator/clock_fixture.py
+"""Deliberate REP003 violations: wall-clock reads in simulation code."""
+
+import time as wallclock
+from datetime import datetime
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def aliased_monotonic():
+    return wallclock.monotonic()
+
+
+def now():
+    return datetime.now()

@@ -1,0 +1,12 @@
+# repro: lint-as=src/repro/simulator/reference.py
+"""deepcopy inside a golden-oracle module — REP004's allowlist must hold."""
+
+import copy
+
+
+def oracle_copy(jobs):
+    return copy.deepcopy(jobs)
+
+
+def shallow_is_always_fine(jobs):
+    return copy.copy(jobs)

@@ -1,0 +1,13 @@
+# repro: lint-as=src/repro/simulator/copies_fixture.py
+"""Deliberate REP004 violations: deepcopy outside the oracle allowlist."""
+
+import copy
+from copy import deepcopy
+
+
+def module_spelling(jobs):
+    return copy.deepcopy(jobs)
+
+
+def from_import_spelling(jobs):
+    return deepcopy(jobs)

@@ -1,0 +1,16 @@
+# repro: lint-as=src/repro/schedulers/sorted_policy.py
+"""Sorted iteration everywhere REP005 looks — must stay quiet."""
+
+candidate_pool = {"a", "b", "c"}
+
+
+def schedule(context):
+    order = [job_id for job_id in sorted(candidate_pool)]
+    for key in sorted(context.jobs.keys()):
+        order.append(key)
+    return order
+
+
+def _helper(mapping):
+    # Raw dict views outside decision functions are insertion-ordered: fine.
+    return list(mapping.values())

@@ -1,0 +1,22 @@
+# repro: lint-as=src/repro/schedulers/fixture_policy.py
+"""Deliberate REP005 violations: nondeterministic iteration on the decision path."""
+
+candidate_pool = {"a", "b", "c"}
+
+
+def schedule(context):
+    order = []
+    for job_id in candidate_pool:
+        order.append(job_id)
+    ready = {task for task in context.tasks}
+    picks = [task for task in ready]
+    for key in context.jobs.keys():
+        order.append(key)
+    return order, picks
+
+
+def select_shard(loads):
+    shard_ids = set(loads)
+    for shard in shard_ids:
+        return shard
+    return None

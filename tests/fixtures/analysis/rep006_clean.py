@@ -1,0 +1,12 @@
+# repro: lint-as=src/repro/simulator/async_sched.py
+"""The audited snapshot site shape (request() in async_sched) — stays quiet."""
+
+
+class _Backend:
+    def request(self, context):
+        self._pending = context.snapshot()
+        return self._pending
+
+    def drain(self, registry):
+        # snapshot(...) with arguments is some other API, not ours.
+        return registry.snapshot("tagged")

@@ -1,0 +1,7 @@
+# repro: lint-as=src/repro/schedulers/greedy_fixture.py
+"""Deliberate REP006 violation: a snapshot minted outside the audited site."""
+
+
+def schedule(context):
+    frozen = context.snapshot()
+    return frozen

@@ -1,0 +1,208 @@
+"""Framework-level tests for ``repro.analysis``: pragmas, selection, CLI.
+
+The rule-by-rule behavior is covered in ``test_analysis_rules.py``; here we
+pin the machinery those rules ride on — pragma parsing (including the
+docstring false-positive regression), ``lint-as`` scoping, ``--select`` /
+``--ignore`` filtering, discovery excludes, the JSON schema, and the CLI
+exit-code contract.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.core import (
+    JSON_SCHEMA_VERSION,
+    analyze_paths,
+    iter_python_files,
+    load_module,
+    rule_codes,
+    select_rules,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+BROKEN = FIXTURES / "broken_engine.py"
+CLEAN = FIXTURES / "rep001_clean.py"
+
+
+# --------------------------------------------------------------------------- #
+# Pragma parsing
+# --------------------------------------------------------------------------- #
+class TestPragmas:
+    def test_line_exemption_parsed(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "t = time.time()  # repro: REP003-exempt -- justified\n"
+        )
+        module = load_module(path)
+        assert module.is_exempt(2, "REP003")
+        assert not module.is_exempt(2, "REP004")
+        assert not module.is_exempt(1, "REP003")
+
+    def test_multiple_codes_one_line(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1  # repro: REP003-exempt,REP004-exempt\n")
+        module = load_module(path)
+        assert module.is_exempt(1, "REP003")
+        assert module.is_exempt(1, "REP004")
+
+    def test_pragma_is_case_insensitive_in_code(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1  # repro: rep003-exempt\n")
+        assert load_module(path).is_exempt(1, "REP003")
+
+    def test_docstring_pragma_text_is_ignored(self, tmp_path):
+        # Regression: pragma-shaped text inside string literals (e.g. the
+        # framework's own docstrings) must not re-scope or exempt anything.
+        path = tmp_path / "mod.py"
+        path.write_text(
+            '"""Docs showing `# repro: lint-as=src/repro/simulator/engine.py`\n'
+            "and `# repro: REP003-exempt` as examples.\n"
+            '"""\n'
+            "x = 1\n"
+        )
+        module = load_module(path)
+        assert module.scope_path.as_posix() == path.as_posix()
+        assert module.exemptions == {}
+
+    def test_lint_as_rescopes_fixture(self):
+        module = load_module(BROKEN)
+        assert module.scope_endswith("simulator/engine.py")
+        assert module.in_src_repro
+        # Reporting still uses the real file path.
+        assert module.path.endswith("broken_engine.py")
+
+
+# --------------------------------------------------------------------------- #
+# Rule selection
+# --------------------------------------------------------------------------- #
+class TestSelection:
+    def test_all_rule_codes_registered(self):
+        assert rule_codes() == [
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+        ]
+
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(ValueError, match="REP999"):
+            select_rules(select=["REP999"])
+
+    def test_unknown_ignore_code_raises(self):
+        with pytest.raises(ValueError, match="REP042"):
+            select_rules(ignore=["REP042"])
+
+    def test_select_filters_codes(self):
+        report = analyze_paths([BROKEN], select=["REP002"])
+        assert set(report.counts) == {"REP002"}
+
+    def test_ignore_filters_codes(self):
+        report = analyze_paths([BROKEN], ignore=["REP001"])
+        assert report.counts and "REP001" not in report.counts
+
+    def test_select_is_case_insensitive(self):
+        report = analyze_paths([BROKEN], select=["rep003"])
+        assert set(report.counts) == {"REP003"}
+
+
+# --------------------------------------------------------------------------- #
+# Discovery
+# --------------------------------------------------------------------------- #
+class TestDiscovery:
+    def test_fixture_tree_excluded_from_directory_walks(self):
+        files = iter_python_files([REPO_ROOT / "tests"])
+        assert not any("fixtures/analysis" in f.as_posix() for f in files)
+
+    def test_explicit_file_bypasses_excludes(self):
+        files = iter_python_files([BROKEN])
+        assert files == [BROKEN]
+
+    def test_no_default_excludes_descends_into_fixtures(self):
+        files = iter_python_files([REPO_ROOT / "tests"], use_default_excludes=False)
+        assert any(f.name == "broken_engine.py" for f in files)
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([REPO_ROOT / "no_such_dir"])
+
+    def test_duplicate_paths_deduplicated(self):
+        files = iter_python_files([BROKEN, BROKEN])
+        assert len(files) == 1
+
+    def test_syntax_error_becomes_rep000(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = analyze_paths([bad])
+        assert [f.code for f in report.findings] == ["REP000"]
+        assert "does not parse" in report.findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# Report schema
+# --------------------------------------------------------------------------- #
+class TestReport:
+    def test_json_schema(self):
+        report = analyze_paths([BROKEN])
+        payload = json.loads(report.to_json())
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["files_scanned"] == 1
+        assert set(payload["counts"]) == {
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+        }
+        for finding in payload["findings"]:
+            assert set(finding) == {"code", "path", "line", "col", "message"}
+            assert finding["line"] >= 1
+
+    def test_findings_sorted_by_location(self):
+        report = analyze_paths([FIXTURES])
+        assert report.findings == sorted(report.findings)
+
+
+# --------------------------------------------------------------------------- #
+# CLI contract
+# --------------------------------------------------------------------------- #
+class TestCli:
+    def test_exit_zero_on_clean_file(self, capsys):
+        assert main([str(CLEAN)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, capsys):
+        assert main([str(BROKEN)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "broken_engine.py" in out
+
+    def test_exit_two_on_unknown_code(self, capsys):
+        assert main(["--select", "REP999", str(CLEAN)]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_path(self, capsys):
+        assert main([str(REPO_ROOT / "definitely_missing")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_format(self, capsys):
+        assert main(["--format", "json", str(BROKEN)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+
+    def test_select_ignore_flags(self, capsys):
+        assert main(["--select", "REP002,REP003", "--ignore", "REP003", str(BROKEN)]) == 1
+        out = capsys.readouterr().out
+        assert "REP002" in out and "REP003" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in rule_codes():
+            assert code in out

@@ -1,0 +1,206 @@
+"""Rule-by-rule tests for the REP001-REP006 invariants.
+
+Each rule gets a clean fixture (must stay silent) and a violating fixture
+(pinned finding count), all scoped via ``lint-as`` pragmas.  The broken-engine
+fixture proves every rule fires, and the dominance tests prove the property
+the gate exists for: deleting any single dirty-marking line from the real
+``simulator/engine.py`` makes REP001 fail.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import analyze_paths, load_module, select_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+ENGINE = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
+
+ALL_CODES = {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"}
+
+
+def _codes(path, **kwargs):
+    return analyze_paths([path], **kwargs).counts
+
+
+# --------------------------------------------------------------------------- #
+# Per-rule fixtures: clean stays silent, violations fire only their own code
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "code, expected",
+    [
+        ("REP001", 5),
+        ("REP002", 3),
+        ("REP003", 3),
+        ("REP004", 2),
+        ("REP005", 4),
+        ("REP006", 1),
+    ],
+)
+def test_violation_fixture_fires_exactly_its_code(code, expected):
+    path = FIXTURES / f"rep{code[3:]}_violations.py"
+    counts = _codes(path)
+    assert counts == {code: expected}, counts
+
+
+@pytest.mark.parametrize("code", sorted(ALL_CODES))
+def test_clean_fixture_is_silent_under_all_rules(code):
+    path = FIXTURES / f"rep{code[3:]}_clean.py"
+    assert _codes(path) == {}
+
+
+def test_broken_fixture_trips_every_rule():
+    counts = _codes(FIXTURES / "broken_engine.py")
+    assert set(counts) == ALL_CODES
+
+
+def test_pragma_suppression_fixture_is_silent():
+    assert _codes(FIXTURES / "pragma_suppression.py") == {}
+
+
+def test_fixture_findings_report_real_paths():
+    report = analyze_paths([FIXTURES / "broken_engine.py"])
+    assert all("broken_engine.py" in f.path for f in report.findings)
+
+
+# --------------------------------------------------------------------------- #
+# Rule scoping: the same source is judged by where (lint-as says) it lives
+# --------------------------------------------------------------------------- #
+def _scoped(tmp_path, relpath, body):
+    target = tmp_path / Path(relpath)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(body)
+    return target
+
+
+def test_rep001_only_applies_to_engine_and_federation(tmp_path):
+    body = "def f(job):\n    job.advance(1.0)\n"
+    in_scope = _scoped(tmp_path, "a/src/repro/simulator/engine.py", body)
+    out_of_scope = _scoped(tmp_path, "b/src/repro/simulator/placement.py", body)
+    oracle = _scoped(tmp_path, "c/src/repro/simulator/reference.py", body)
+    assert _codes(in_scope, select=["REP001"]) == {"REP001": 1}
+    assert _codes(out_of_scope, select=["REP001"]) == {}
+    assert _codes(oracle, select=["REP001"]) == {}
+
+
+def test_rep004_oracle_allowlist(tmp_path):
+    body = "import copy\n\ndef f(x):\n    return copy.deepcopy(x)\n"
+    stray = _scoped(tmp_path, "a/src/repro/simulator/engine.py", body)
+    base = _scoped(tmp_path, "b/src/repro/schedulers/base.py", body)
+    assert _codes(stray, select=["REP004"]) == {"REP004": 1}
+    assert _codes(base, select=["REP004"]) == {}
+
+
+def test_rules_skip_tests_scope(tmp_path):
+    # Test code may use wall clocks and unseeded RNGs freely.
+    body = "import time\n\ndef f():\n    return time.time()\n"
+    test_file = _scoped(tmp_path, "tests/test_something.py", body)
+    assert _codes(test_file) == {}
+
+
+def test_rep006_audited_site_requires_both_module_and_function(tmp_path):
+    wrong_fn = _scoped(
+        tmp_path,
+        "a/src/repro/simulator/async_sched.py",
+        "class B:\n    def drain(self, ctx):\n        return ctx.snapshot()\n",
+    )
+    right_fn = _scoped(
+        tmp_path,
+        "b/src/repro/simulator/async_sched.py",
+        "class B:\n    def request(self, ctx):\n        return ctx.snapshot()\n",
+    )
+    assert _codes(wrong_fn, select=["REP006"]) == {"REP006": 1}
+    assert _codes(right_fn, select=["REP006"]) == {}
+
+
+# --------------------------------------------------------------------------- #
+# The acceptance property: the gate bites on the real engine
+# --------------------------------------------------------------------------- #
+_DIRTY_LINE = re.compile(r"^\s*(self\._mark_job_dirty|cow\.mark_dirty|self\._cow\.mark_dirty)\(")
+
+
+def _dirty_lines(source):
+    return [i for i, line in enumerate(source.splitlines()) if _DIRTY_LINE.match(line)]
+
+
+def _rep001_findings(tmp_path, source, tag):
+    target = tmp_path / tag / "src" / "repro" / "simulator" / "engine.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source)
+    return analyze_paths([target], select=["REP001"]).findings
+
+
+def test_real_engine_is_rep001_clean(tmp_path):
+    source = ENGINE.read_text()
+    assert len(_dirty_lines(source)) >= 7, "engine lost its dirty-marking call sites?"
+    assert _rep001_findings(tmp_path, source, "clean") == []
+
+
+def test_reverting_any_single_mark_dirty_fires_rep001(tmp_path):
+    # The reason this linter exists: silently dropping one COW dirty mark
+    # from the engine must fail the gate.  Exhaustively delete each
+    # dirty-marking line and require REP001 to fire every time.
+    source = ENGINE.read_text()
+    lines = source.splitlines()
+    for index in _dirty_lines(source):
+        mutated = list(lines)
+        indent = mutated[index][: len(mutated[index]) - len(mutated[index].lstrip())]
+        mutated[index] = indent + "pass"
+        findings = _rep001_findings(tmp_path, "\n".join(mutated) + "\n", f"rm{index}")
+        assert findings, f"removing dirty mark on line {index + 1} went undetected"
+
+
+# --------------------------------------------------------------------------- #
+# Spot checks on rule internals
+# --------------------------------------------------------------------------- #
+def test_rep005_sorted_wrapper_accepted(tmp_path):
+    path = _scoped(
+        tmp_path,
+        "src/repro/schedulers/p.py",
+        "ids = {1, 2}\n\ndef schedule(ctx):\n    return [i for i in sorted(ids)]\n",
+    )
+    assert _codes(path, select=["REP005"]) == {}
+
+
+def test_rep002_seeded_default_rng_accepted(tmp_path):
+    path = _scoped(
+        tmp_path,
+        "src/repro/workloads/w.py",
+        "import numpy as np\n\ndef f(seed):\n    return np.random.default_rng(seed)\n",
+    )
+    assert _codes(path, select=["REP002"]) == {}
+
+
+def test_rep003_alias_resolution(tmp_path):
+    path = _scoped(
+        tmp_path,
+        "src/repro/simulator/c.py",
+        "import time as wallclock\n\ndef f():\n    return wallclock.perf_counter()\n",
+    )
+    assert _codes(path, select=["REP003"]) == {"REP003": 1}
+
+
+def test_gutting_the_mark_job_dirty_wrapper_fires_rep001(tmp_path):
+    path = _scoped(
+        tmp_path,
+        "src/repro/simulator/engine.py",
+        "class E:\n    def _mark_job_dirty(self, job):\n        pass\n",
+    )
+    findings = analyze_paths([path], select=["REP001"]).findings
+    assert len(findings) == 1
+    assert "no longer calls the COW tracker" in findings[0].message
+
+
+def test_every_rule_has_code_name_summary():
+    for rule in select_rules():
+        assert re.fullmatch(r"REP\d{3}", rule.code)
+        assert rule.name and rule.summary
+
+
+def test_load_module_rejects_syntax_errors(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    with pytest.raises(SyntaxError):
+        load_module(bad)

@@ -295,7 +295,7 @@ class TestGridAndResult:
         axes = {"scheduler.name": ["fcfs", "fair"]}
         serial = api.run_grid(base, axes, processes=1)
         parallel = api.run_grid(base, axes, processes=2)
-        for (_, a), (_, b) in zip(serial, parallel):
+        for (_, a), (_, b) in zip(serial, parallel, strict=True):
             assert a.metrics.job_completion_times == b.metrics.job_completion_times
 
     def test_run_grid_validates_axes(self):
@@ -391,3 +391,71 @@ class TestGridAndResult:
             applications=applications,
         )
         assert result.metrics.num_async_decisions > 0
+
+
+class TestSnapshotPolicyPlumbing:
+    """``settings.snapshot_policy`` reaches the engines through the spec.
+
+    The COW-vs-deepcopy observational identity is pinned in depth by
+    tests/test_context_snapshot.py at the engine level; here we prove the
+    declarative path actually selects the policy (no silent default) and
+    that both policies produce bit-identical results through ``api.run``.
+    """
+
+    def _async_spec(self, policy, num_shards=1):
+        if num_shards > 1:
+            workload = WorkloadSection.open_loop(
+                PoissonProcess(rate=1.2), max_jobs=10, seed=3
+            )
+            cluster = ClusterSection(
+                config=ClusterConfig(num_regular_executors=4, num_llm_executors=2),
+                num_shards=num_shards,
+            )
+        else:
+            workload = WorkloadSection.closed_loop(
+                "mixed", num_jobs=8, arrival_rate=1.5, seed=6
+            )
+            cluster = ClusterSection()
+        return ScenarioSpec(
+            workload=workload,
+            cluster=cluster,
+            async_=AsyncSection(latency=0.5),
+            settings=ExperimentSettings(
+                profile_jobs=30,
+                prior_samples=15,
+                snapshot_policy=policy,
+                llmsched=LLMSchedConfig(seed=0),
+            ),
+        )
+
+    def test_policies_bit_identical_single(self, applications):
+        cow = api.run(self._async_spec("cow"), applications=applications)
+        deep = api.run(self._async_spec("deepcopy"), applications=applications)
+        assert cow.metrics.job_completion_times == deep.metrics.job_completion_times
+        assert cow.metrics.makespan == deep.metrics.makespan
+        assert cow.metrics.num_async_decisions == deep.metrics.num_async_decisions
+
+    def test_policies_bit_identical_federated(self, applications):
+        cow = api.run(self._async_spec("cow", num_shards=2), applications=applications)
+        deep = api.run(
+            self._async_spec("deepcopy", num_shards=2), applications=applications
+        )
+        assert cow.metrics.job_completion_times == deep.metrics.job_completion_times
+        assert cow.metrics.makespan == deep.metrics.makespan
+
+    def test_policy_reaches_the_engine(self, monkeypatch, applications):
+        # Guard against the plumbing silently falling back to the default:
+        # capture the SimulationConfig the dispatcher builds.
+        from repro.api import dispatch as dispatch_module
+        from repro.simulator.engine import SimulationEngine
+
+        seen = {}
+        original = SimulationEngine.__init__
+
+        def spy(self, *args, **kwargs):
+            seen["policy"] = kwargs["config"].snapshot_policy
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(dispatch_module.SimulationEngine, "__init__", spy)
+        api.run(self._async_spec("deepcopy"), applications=applications)
+        assert seen["policy"] == "deepcopy"

@@ -187,6 +187,35 @@ class TestAsyncSectionBridge:
         assert AsyncSection.from_async_config(None) is None
 
 
+class TestSnapshotPolicy:
+    def test_invalid_policy_raises_value_error_directly(self):
+        with pytest.raises(ValueError, match="snapshot_policy must be 'cow' or 'deepcopy'"):
+            ExperimentSettings(snapshot_policy="bogus")
+
+    def test_invalid_policy_in_dict_becomes_spec_error(self):
+        with pytest.raises(SpecError, match="snapshot_policy"):
+            ScenarioSpec.from_dict({"settings": {"snapshot_policy": "bogus"}})
+
+    def test_policy_survives_json_roundtrip(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSection.closed_loop(num_jobs=5),
+            settings=ExperimentSettings(snapshot_policy="deepcopy"),
+        )
+        replayed = ScenarioSpec.from_json(spec.to_json())
+        assert replayed.settings.snapshot_policy == "deepcopy"
+        assert replayed == spec
+
+    def test_policy_defaults_to_cow(self):
+        assert ExperimentSettings().snapshot_policy == "cow"
+
+    def test_policy_override_path(self):
+        spec = ScenarioSpec(workload=WorkloadSection.closed_loop(num_jobs=5))
+        out = with_overrides(spec, {"settings.snapshot_policy": "deepcopy"})
+        assert out.settings.snapshot_policy == "deepcopy"
+        with pytest.raises(SpecError):
+            with_overrides(spec, {"settings.snapshot_policy": "shallow"})
+
+
 class TestOverrides:
     def test_override_creates_async_section(self):
         spec = ScenarioSpec(workload=WorkloadSection.closed_loop(num_jobs=5))
@@ -340,6 +369,7 @@ _settings = st.builds(
     profile_jobs=st.integers(10, 200),
     prior_samples=st.integers(10, 200),
     profiler_seed=_seeds,
+    snapshot_policy=st.sampled_from(["cow", "deepcopy"]),
 )
 
 

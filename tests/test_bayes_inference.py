@@ -132,7 +132,7 @@ class TestLargerNetwork:
         for name in names:
             net.add_node(name, 2)
         net.set_cpd(TabularCPD.from_marginal("a", [0.7, 0.3]))
-        for parent, child in zip(names[:-1], names[1:]):
+        for parent, child in zip(names[:-1], names[1:], strict=True):
             net.add_edge(parent, child)
             net.set_cpd(
                 TabularCPD(child, 2, np.array([[0.85, 0.15], [0.15, 0.85]]), [parent], {parent: 2})
@@ -149,5 +149,5 @@ class TestLargerNetwork:
         assert joint.total == pytest.approx(1.0)
         reference = net.joint_distribution()
         for assignment in itertools.product(range(2), repeat=3):
-            mapping = dict(zip(["rain", "sprinkler", "grass_wet"], assignment))
+            mapping = dict(zip(["rain", "sprinkler", "grass_wet"], assignment, strict=True))
             assert joint.get(mapping) == pytest.approx(reference.get(mapping), abs=1e-9)

@@ -143,7 +143,7 @@ class TestParallelSweeps:
         serial = run_cells_parallel(cells, settings=TINY, processes=1)
         parallel = run_cells_parallel(cells, settings=TINY, processes=2)
         assert [c.scheduler_name for c, _ in serial] == [c.scheduler_name for c, _ in parallel]
-        for (_, a), (_, b) in zip(serial, parallel):
+        for (_, a), (_, b) in zip(serial, parallel, strict=True):
             # Workers must reproduce the in-process results bit for bit.
             assert a.job_completion_times == b.job_completion_times
 

@@ -150,7 +150,7 @@ class TestDecima:
         target = (-1.0, 0.5, -0.5, 0.3, 0.2, 0.0)
 
         def evaluate(policy):
-            return float(sum((w - t) ** 2 for w, t in zip(policy.weights, target)))
+            return float(sum((w - t) ** 2 for w, t in zip(policy.weights, target, strict=False)))
 
         trained = train_decima(evaluate, iterations=5, population=12, seed=0)
         assert evaluate(trained) <= evaluate(DecimaPolicy())

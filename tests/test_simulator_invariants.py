@@ -119,7 +119,7 @@ class TestEngineInvariants:
         engine, _ = run_checked(name, priors, profiler, applications)
         times = engine.scheduling_point_times
         assert times, "engine never reached a scheduling point"
-        assert all(a <= b for a, b in zip(times, times[1:])), "clock moved backwards"
+        assert all(a <= b for a, b in zip(times, times[1:], strict=False)), "clock moved backwards"
 
     def test_every_admitted_job_completes(self, name, priors, profiler, applications):
         _, metrics = run_checked(name, priors, profiler, applications)

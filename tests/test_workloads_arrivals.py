@@ -56,7 +56,7 @@ class TestProcesses:
 
     def test_bursty_interleaves_fast_and_slow_phases(self):
         times = head(BurstyProcess(base_rate=0.5, burst_rate=50.0, seed=2), 2000)
-        gaps = sorted(b - a for a, b in zip(times, times[1:]))
+        gaps = sorted(b - a for a, b in zip(times, times[1:], strict=False))
         # The gap distribution must mix burst gaps (~0.02s) and normal-phase
         # gaps (~2s) — a single-rate Poisson cannot produce that spread.
         assert gaps[len(gaps) // 2] < 0.1  # bursts dominate the arrival count

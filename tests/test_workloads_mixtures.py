@@ -16,7 +16,7 @@ from repro.workloads.mixtures import (
 class TestPoissonArrivals:
     def test_monotonically_increasing(self):
         times = poisson_arrival_times(100, 0.9, make_rng(0))
-        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(b >= a for a, b in zip(times, times[1:], strict=False))
 
     def test_rate_approximately_respected(self):
         times = poisson_arrival_times(3000, 2.0, make_rng(1))
