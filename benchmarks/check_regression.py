@@ -44,6 +44,15 @@ GOLDEN_MARKERS = (
     "migrated_work",
     "num_migrations",
     "monotone",
+    # Serving metrics (BENCH_6): seeded token streams make goodput, latency
+    # percentiles and token-normalized throughput exactly reproducible.
+    "goodput",
+    "ttft",
+    "tpot",
+    "itl",
+    "tps_per",
+    "token",
+    "winning",
 )
 
 #: Leaf keys that are same-machine ratios (gated, but not normalized).

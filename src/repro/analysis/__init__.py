@@ -1,4 +1,4 @@
-"""Project-specific static analysis: the invariant linter (REP001-REP006).
+"""Project-specific static analysis: the invariant linter (REP001-REP007).
 
 Usage::
 
@@ -26,6 +26,9 @@ REP005    deterministic-iteration     no unsorted set / raw dict-view iteration 
                                       the decision path
 REP006    single-snapshot-site        SchedulingContext.snapshot() only at the
                                       audited AsyncSchedulerBackend.request site
+REP007    token-phase-ownership       token-phase fields (prompt/output tokens,
+                                      prefill_work, ready_time, first_token_time)
+                                      written only by task/stage/executor
 ========  ==========================  ==============================================
 
 Suppress a finding with ``# repro: <CODE>-exempt -- justification`` on the

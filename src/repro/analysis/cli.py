@@ -34,7 +34,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "AST-based invariant linter for the repro codebase: COW mutation "
-            "discipline, determinism, and hot-path hygiene (codes REP001-REP006)."
+            "discipline, determinism, and hot-path hygiene (codes REP001-REP007)."
         ),
     )
     parser.add_argument(

@@ -10,8 +10,8 @@ these; before this pass they were enforced by code review and caught (late)
 by golden-trace divergence.
 
 This module is the framework; the rules live in :mod:`rules_cow`,
-:mod:`rules_determinism` and :mod:`rules_hygiene`, and the command-line
-front end in :mod:`cli` (``python -m repro.analysis``).
+:mod:`rules_determinism`, :mod:`rules_hygiene` and :mod:`rules_token`, and
+the command-line front end in :mod:`cli` (``python -m repro.analysis``).
 
 Suppression pragmas
 -------------------
@@ -235,7 +235,12 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 def _ensure_rules_loaded() -> None:
     # Rule modules self-register on import; imported lazily so `core` has no
     # import-time dependency on them (they import helpers from here).
-    from repro.analysis import rules_cow, rules_determinism, rules_hygiene  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        rules_cow,
+        rules_determinism,
+        rules_hygiene,
+        rules_token,
+    )
 
 
 def all_rules() -> Dict[str, Type[Rule]]:

@@ -1,0 +1,92 @@
+"""REP007: token-phase state has exactly three writers.
+
+PR 9's opt-in guarantee — attach a token model and every legacy trace stays
+bit-identical — rests on the token-phase fields being *derived observation*,
+never independent state:
+
+* ``prompt_tokens`` / ``output_tokens`` / ``prefill_work`` are set once by
+  ``Task.set_token_model`` (a pure decomposition of the existing ``work``);
+* ``ready_time`` is stamped by the stage when the task becomes schedulable;
+* ``first_token_time`` is stamped by the executor at the instant progress
+  crosses the prefill boundary (plus the task's own reset in
+  ``set_token_model``).
+
+Any other assignment to these fields — in the engine, a scheduler, the
+metrics layer — either forges a serving sample (TTFT/TPOT computed from a
+time nobody simulated) or breaks the decomposition (``prefill + decode``
+drifting from ``work``, which is precisely the bit-identity hazard).  The
+golden-trace suite only catches the second failure, and only after the
+fact; REP007 catches both at lint time by restricting raw writes to the
+three owning modules.  Everyone else goes through the ``Task`` API
+(``set_token_model``) or just reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, Module, Rule, register_rule
+
+__all__ = ["TokenPhaseMutationRule"]
+
+#: The token-phase fields whose writes are ownership-restricted.
+TOKEN_PHASE_ATTRS = {
+    "prompt_tokens",
+    "output_tokens",
+    "prefill_work",
+    "ready_time",
+    "first_token_time",
+}
+
+
+@register_rule
+class TokenPhaseMutationRule(Rule):
+    """Token-phase attribute writes only in task/stage/executor."""
+
+    code = "REP007"
+    name = "token-phase-ownership"
+    summary = (
+        "prompt_tokens/output_tokens/prefill_work/ready_time/first_token_time "
+        "are written only by dag/task.py, dag/stage.py and "
+        "simulator/executor.py; other code uses Task.set_token_model or reads"
+    )
+
+    #: The three sanctioned writers.  The engine and the reference oracle are
+    #: deliberately *not* here: both observe token events via the executor.
+    _OWNERS = ("dag/task.py", "dag/stage.py", "simulator/executor.py")
+
+    def applies(self, module: Module) -> bool:
+        return module.in_src_repro and not module.scope_endswith(*self._OWNERS)
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            else:
+                continue
+            for target in targets:
+                # Walk the whole target so tuple-unpacking writes
+                # (``a, t.ready_time = ...``) are caught too.
+                for sub in ast.walk(target):
+                    if not isinstance(sub, ast.Attribute):
+                        continue
+                    if sub.attr not in TOKEN_PHASE_ATTRS:
+                        continue
+                    findings.append(
+                        self.finding(
+                            module,
+                            sub,
+                            f"write to token-phase field "
+                            f"`{ast.unparse(sub)}` outside its owners "
+                            "(dag/task.py, dag/stage.py, "
+                            "simulator/executor.py); route it through "
+                            "Task.set_token_model or move it to the owner",
+                        )
+                    )
+        return findings

@@ -16,7 +16,7 @@ dispatcher::
                                "scheduler.name": ["fcfs", "llmsched"]})
 
 Specs round-trip through JSON (``to_json`` / ``from_json``) and drive the
-``python -m repro`` CLI (``run`` / ``grid`` / ``validate`` /
+``python -m repro`` CLI (``run`` / ``grid`` / ``pareto`` / ``validate`` /
 ``list-schedulers``); committed examples live under ``examples/specs/``.
 The legacy ``repro.experiments.runner`` entry points are deprecation shims
 over this package.
@@ -44,6 +44,7 @@ from repro.api.spec import (
     ScenarioSpec,
     SchedulerSection,
     SettingsSection,
+    SLOSection,
     SpecError,
     WorkloadSection,
     with_overrides,
@@ -61,6 +62,7 @@ __all__ = [
     "AutoscalerSection",
     "MigrationSection",
     "SettingsSection",
+    "SLOSection",
     "with_overrides",
     "run",
     "compare",

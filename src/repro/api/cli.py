@@ -8,9 +8,15 @@ Subcommands
 ``grid <spec.json> --axis path=v1,v2,...``
     Fan the spec out over override axes (repeat ``--axis``), in parallel
     with ``--processes``.
+``pareto <spec.json> --axis path=v1,v2,...``
+    Run a grid of token-model scenarios and print the serving Pareto
+    table — TPS/GPU (fleet efficiency) vs TPS/User (stream speed) with
+    per-tier goodput — marking the Pareto-optimal cells.  Human and JSON
+    output via ``--format``, mirroring ``repro.analysis``.
 ``validate <spec.json> [...]``
-    Parse + validate specs without running anything; exit 1 on the first
-    invalid file with its actionable error.
+    Parse + validate specs without running anything (reporting each
+    document's stamped schema version); exit 1 on the first invalid file
+    with its actionable error.
 ``list-schedulers``
     Print every scheduler name :func:`repro.api.run` accepts, plus the
     available placement policies and job routers.
@@ -21,17 +27,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.dispatch import run as run_spec
 from repro.api.grid import run_grid
 from repro.api.results import Result
-from repro.api.spec import ScenarioSpec, SpecError
+from repro.api.spec import SCHEMA_VERSION, ScenarioSpec, SpecError
 from repro.schedulers.registry import available_schedulers
 from repro.simulator.federation import available_job_routers
 from repro.simulator.placement import available_placement_policies
 
-__all__ = ["main"]
+__all__ = ["main", "pareto_rows"]
+
+#: Schema of the ``pareto`` subcommand's JSON output.
+PARETO_JSON_VERSION = 1
 
 
 def _load_spec(path: str) -> ScenarioSpec:
@@ -107,17 +116,112 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def pareto_rows(
+    cells: Sequence[Tuple[Dict[str, object], Result]]
+) -> List[Dict[str, object]]:
+    """Serving table rows (one per grid cell), Pareto front marked.
+
+    A cell is Pareto-optimal when no other cell is at least as good on
+    both throughput axes (TPS/GPU — fleet efficiency — and TPS/User —
+    per-stream speed) and strictly better on one.
+    """
+    rows: List[Dict[str, object]] = []
+    for overrides, result in cells:
+        serving = result.serving
+        if serving is None:
+            label = ", ".join(f"{k}={v}" for k, v in overrides.items()) or "<base spec>"
+            raise SpecError(
+                f"pareto cell {label} produced no serving metrics; the spec needs "
+                'a token-model workload (set workload.token_mix to "chat", '
+                '"batch" or "agentic") on a single cluster'
+            )
+        rows.append(
+            {
+                "overrides": dict(overrides),
+                "scheduler": result.spec.scheduler.name,
+                "goodput": serving["goodput_overall"],
+                "goodput_by_tier": serving["goodput"],
+                "tps_per_gpu": serving["tps_per_gpu"],
+                "tps_per_user": serving["tps_per_user"],
+                "ttft_p95": serving["ttft"]["p95"],
+                "tpot_p95": serving["tpot"]["p95"],
+                "num_requests": serving["num_requests"],
+            }
+        )
+    for row in rows:
+        row["pareto"] = not any(
+            other["tps_per_gpu"] >= row["tps_per_gpu"]
+            and other["tps_per_user"] >= row["tps_per_user"]
+            and (
+                other["tps_per_gpu"] > row["tps_per_gpu"]
+                or other["tps_per_user"] > row["tps_per_user"]
+            )
+            for other in rows
+            if other is not row
+        )
+    rows.sort(key=lambda r: (-r["tps_per_gpu"], -r["tps_per_user"]))
+    return rows
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    axes = _parse_axes(args.axis or [])
+    if axes:
+        cells = run_grid(spec, axes, processes=args.processes)
+    else:
+        cells = [({}, run_spec(spec))]
+    rows = pareto_rows(cells)
+    payload = {"version": PARETO_JSON_VERSION, "rows": rows}
+    if args.format == "json":
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        header = (
+            f"{'':2s}{'cell':<40s} {'goodput':>8s} {'tps/gpu':>9s} "
+            f"{'tps/user':>9s} {'ttft_p95':>9s} {'tpot_p95':>9s}"
+        )
+        print(header)
+        for row in rows:
+            label = ", ".join(f"{k}={v}" for k, v in row["overrides"].items())
+            label = label or row["scheduler"]
+            marker = "* " if row["pareto"] else "  "
+            print(
+                f"{marker}{label:<40s} {row['goodput']:>8.3f} "
+                f"{row['tps_per_gpu']:>9.1f} {row['tps_per_user']:>9.1f} "
+                f"{row['ttft_p95']:>9.2f} {row['tpot_p95']:>9.4f}"
+            )
+        print("* = Pareto-optimal on (TPS/GPU, TPS/User)")
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr if args.format == "json" else sys.stdout)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     for path in args.specs:
         spec = _load_spec(path)
+        try:
+            with open(path) as handle:
+                stamped = json.load(handle).get("schema_version", SCHEMA_VERSION)
+        except (OSError, json.JSONDecodeError):  # pragma: no cover - _load_spec caught it
+            stamped = spec.schema_version
+        version = f"schema v{stamped}"
+        if stamped != spec.schema_version:
+            version += f" upcast to v{spec.schema_version}"
         mode = spec.workload.mode
         shards = spec.cluster.num_shards
-        print(f"{path}: ok ({spec.scheduler.name}, {mode}-loop, {shards} shard(s))")
+        print(
+            f"{path}: ok ({version}, {spec.scheduler.name}, {mode}-loop, {shards} shard(s))"
+        )
     return 0
 
 
 def _cmd_list_schedulers(args: argparse.Namespace) -> int:
-    names = available_schedulers(include_preemptive=True, include_ablations=True)
+    names = available_schedulers(
+        include_preemptive=True, include_ablations=True, include_serving=True
+    )
     print("schedulers:")
     for name in names:
         print(f"  {name}")
@@ -155,6 +259,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-spec", action="store_true", help="omit resolved specs from --output"
     )
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_pareto = sub.add_parser(
+        "pareto", help="serving Pareto table (TPS/GPU vs TPS/User) over a spec grid"
+    )
+    p_pareto.add_argument("spec", help="path to the base ScenarioSpec JSON file")
+    p_pareto.add_argument(
+        "--axis",
+        action="append",
+        metavar="PATH=V1,V2,...",
+        help="override axis, e.g. scheduler.name=fcfs,slo_serving (repeatable)",
+    )
+    p_pareto.add_argument("--processes", type=int, default=None, help="worker processes")
+    p_pareto.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    p_pareto.add_argument("--output", help="also write the JSON table here")
+    p_pareto.set_defaults(func=_cmd_pareto)
 
     p_val = sub.add_parser("validate", help="validate spec files without running them")
     p_val.add_argument("specs", nargs="+", help="ScenarioSpec JSON files")

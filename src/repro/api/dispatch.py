@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.api.prep import (
     build_priors,
@@ -50,6 +50,7 @@ from repro.simulator.federation import (
 from repro.simulator.placement import PlacementPolicy, create_placement_policy
 from repro.simulator.protocol import ensure_engine_protocol
 from repro.workloads.mixtures import default_applications, generate_workload
+from repro.workloads.serving import DEFAULT_SLO_TARGETS, attach_token_model
 
 __all__ = ["run", "compare"]
 
@@ -62,9 +63,24 @@ def _make_scheduler(spec: ScenarioSpec, priors, profiler) -> Scheduler:
         if section.kwargs:
             settings = replace(settings, llmsched=replace(settings.llmsched, **section.kwargs))
         return create_scheduler(section.name, profiler=profiler, settings=settings)
+    if section.name.lower() == "slo_serving":
+        # The SLO scheduler reads the scenario's declarative targets and the
+        # settings' latency slope unless the kwargs override them explicitly.
+        kwargs = dict(section.kwargs)
+        if spec.slo is not None and "slo_targets" not in kwargs:
+            kwargs["slo_targets"] = spec.slo.targets()
+        kwargs.setdefault("latency_slope", spec.settings.latency_slope)
+        return create_scheduler(section.name, **kwargs)
     return create_scheduler(
         section.name, priors=priors, profiler=profiler, settings=spec.settings, **section.kwargs
     )
+
+
+def _serving_targets(spec: ScenarioSpec) -> Dict[str, Dict[str, float]]:
+    """The SLO targets a token-model run meters goodput against."""
+    if spec.slo is not None:
+        return spec.slo.targets()
+    return {tier: dict(targets) for tier, targets in DEFAULT_SLO_TARGETS.items()}
 
 
 def _resolve_total_config(
@@ -171,21 +187,24 @@ def _run_single(spec, applications, priors, profiler, placement, autoscaler, asy
     else:
         jobs = workload.to_open_loop_spec().jobs(dict(applications))
         workload_name = workload.name
-    engine = ensure_engine_protocol(
-        SimulationEngine(
-            jobs,
-            _make_scheduler(spec, priors, profiler),
-            cluster=cluster,
-            config=SimulationConfig(snapshot_policy=spec.settings.snapshot_policy),
-            workload_name=workload_name,
-            placement=placement,
-            autoscaler=autoscaler,
-            async_backend=(
-                AsyncSchedulerBackend(async_config) if async_config is not None else None
-            ),
-        )
+    if workload.token_mix is not None:
+        token_seed = workload.token_seed if workload.token_seed is not None else workload.seed
+        attach_token_model(jobs, workload.token_mix, seed=token_seed)
+    engine = SimulationEngine(
+        jobs,
+        _make_scheduler(spec, priors, profiler),
+        cluster=cluster,
+        config=SimulationConfig(snapshot_policy=spec.settings.snapshot_policy),
+        workload_name=workload_name,
+        placement=placement,
+        autoscaler=autoscaler,
+        async_backend=(
+            AsyncSchedulerBackend(async_config) if async_config is not None else None
+        ),
     )
-    return engine.run()
+    if workload.token_mix is not None:
+        engine.metrics.slo_targets = _serving_targets(spec)
+    return ensure_engine_protocol(engine).run()
 
 
 def _run_federated(spec, applications, priors, profiler, router, async_config):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.simulator.federation import FederationMetrics
 from repro.simulator.metrics import SimulationMetrics
@@ -51,13 +51,30 @@ class Result:
     def is_federated(self) -> bool:
         return isinstance(self.metrics, FederationMetrics)
 
+    @property
+    def serving(self) -> Optional[Dict[str, object]]:
+        """The versioned serving summary, or None for non-token-model runs.
+
+        Single-cluster runs with a ``workload.token_mix`` carry per-request
+        TTFT/TPOT/ITL samples and SLO goodput (see
+        :meth:`~repro.simulator.metrics.SimulationMetrics.serving_summary`);
+        everything else — legacy specs, federated fleets — reports None.
+        """
+        metrics = self.metrics
+        if isinstance(metrics, SimulationMetrics) and metrics.has_serving_samples:
+            return metrics.serving_summary()
+        return None
+
     # Serialization -------------------------------------------------------- #
     def to_dict(self, include_spec: bool = True) -> Dict[str, object]:
         """One schema for every run kind (fed straight into BENCH_*.json).
 
         ``include_spec=False`` drops the resolved spec for lean artifacts;
         the metrics payload is ``metrics.to_dict()`` either way, so the
-        benchmark regression gate reads the same keys everywhere.
+        benchmark regression gate reads the same keys everywhere.  Token-
+        model runs additionally surface the versioned ``serving`` summary
+        as a top-level block — the stable serving-metrics API — alongside
+        its copy inside ``metrics``.
         """
         out: Dict[str, object] = {
             "schema_version": self.spec.schema_version,
@@ -65,6 +82,9 @@ class Result:
             "wall_clock_sec": self.wall_clock_sec,
             "metrics": self.metrics.to_dict(),
         }
+        serving = self.serving
+        if serving is not None:
+            out["serving"] = serving
         if include_spec:
             out["spec"] = self.spec.to_dict()
         return out

@@ -53,6 +53,7 @@ from repro.workloads.arrivals import (
     _Until,
 )
 from repro.workloads.mixtures import WorkloadSpec, WorkloadType
+from repro.workloads.serving import available_token_mixes
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -65,12 +66,18 @@ __all__ = [
     "AutoscalerSection",
     "MigrationSection",
     "SettingsSection",
+    "SLOSection",
     "ScenarioSpec",
     "with_overrides",
 ]
 
 #: Version stamped into every serialized spec; bumped on breaking changes.
-SCHEMA_VERSION = 1
+#: v2 adds the token-level serving surface: an ``slo`` section (per-tier
+#: TTFT/TPOT targets), ``token_mix`` / ``token_seed`` on the workload
+#: section, and the prefill/decode ``role`` on pool specs.  v1 documents
+#: are upcast on read (see :func:`_upcast_v1`): v1 predates every serving
+#: construct, so a valid v1 spec is byte-for-byte a valid v2 spec.
+SCHEMA_VERSION = 2
 
 #: Sections that alias existing (already frozen, already validated) config
 #: dataclasses: the spec tree embeds the real simulator configs, so resolving
@@ -223,6 +230,13 @@ class WorkloadSection:
     (one of the paper's four mixes, materialized up front);
     ``mode="open"`` mirrors :class:`~repro.workloads.arrivals.OpenLoopSpec`
     (jobs streamed lazily from ``process``).
+
+    Schema v2: ``token_mix`` (chat / batch / agentic) attaches per-request
+    ``prompt_tokens`` / ``output_tokens`` streams to every LLM task via
+    :func:`repro.workloads.serving.attach_token_model`; ``token_seed``
+    (defaults to the workload ``seed``) seeds that sampling independently
+    of job generation.  Absent token fields mean the legacy JCT-only model
+    — bit-identical traces.
     """
 
     mode: str = "closed"
@@ -238,12 +252,21 @@ class WorkloadSection:
     name: str = "open_loop"
     # Shared -------------------------------------------------------------- #
     seed: int = 0
+    # Token-level serving (schema v2) -------------------------------------- #
+    token_mix: Optional[str] = None
+    token_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.application_names is not None:
             object.__setattr__(self, "application_names", tuple(self.application_names))
         if self.mode not in ("closed", "open"):
             raise SpecError(f'workload mode must be "closed" or "open", not {self.mode!r}')
+        if self.token_mix is not None and self.token_mix not in available_token_mixes():
+            raise SpecError(
+                f"unknown token_mix {self.token_mix!r}; available: {available_token_mixes()}"
+            )
+        if self.token_seed is not None and self.token_mix is None:
+            raise SpecError("workload token_seed has no effect without a token_mix")
         if self.mode == "closed":
             try:
                 WorkloadType(self.workload_type)
@@ -277,6 +300,8 @@ class WorkloadSection:
         num_jobs: int = 300,
         arrival_rate: float = 0.9,
         seed: int = 0,
+        token_mix: Optional[str] = None,
+        token_seed: Optional[int] = None,
     ) -> "WorkloadSection":
         value = workload_type.value if isinstance(workload_type, WorkloadType) else workload_type
         return cls(
@@ -285,6 +310,8 @@ class WorkloadSection:
             num_jobs=num_jobs,
             arrival_rate=arrival_rate,
             seed=seed,
+            token_mix=token_mix,
+            token_seed=token_seed,
         )
 
     @classmethod
@@ -350,25 +377,30 @@ class WorkloadSection:
     # Serialization ------------------------------------------------------- #
     def to_dict(self) -> Dict[str, object]:
         if self.mode == "closed":
-            return {
+            out: Dict[str, object] = {
                 "mode": "closed",
                 "workload_type": self.workload_type,
                 "num_jobs": self.num_jobs,
                 "arrival_rate": self.arrival_rate,
                 "seed": self.seed,
             }
-        out: Dict[str, object] = {
-            "mode": "open",
-            "process": process_to_dict(self.process),
-            "name": self.name,
-            "seed": self.seed,
-        }
-        if self.application_names is not None:
-            out["application_names"] = list(self.application_names)
-        if self.max_jobs is not None:
-            out["max_jobs"] = self.max_jobs
-        if self.horizon is not None:
-            out["horizon"] = self.horizon
+        else:
+            out = {
+                "mode": "open",
+                "process": process_to_dict(self.process),
+                "name": self.name,
+                "seed": self.seed,
+            }
+            if self.application_names is not None:
+                out["application_names"] = list(self.application_names)
+            if self.max_jobs is not None:
+                out["max_jobs"] = self.max_jobs
+            if self.horizon is not None:
+                out["horizon"] = self.horizon
+        if self.token_mix is not None:
+            out["token_mix"] = self.token_mix
+        if self.token_seed is not None:
+            out["token_seed"] = self.token_seed
         return out
 
     @classmethod
@@ -478,6 +510,62 @@ def _pool_from_dict(data: Mapping) -> PoolSpec:
                 f"{[t.value for t in TaskType]}"
             ) from None
     return _config_from_dict(PoolSpec, body, "pool spec")
+
+
+@dataclass(frozen=True)
+class SLOSection:
+    """Per-tier serving SLOs (schema v2): tier name → TTFT/TPOT targets.
+
+    Tiers are the ``job.priority`` values assigned by the workload's token
+    mix (``interactive`` / ``batch`` / ``default``); a tier absent from the
+    map falls back to ``default`` and, failing that, is unconstrained.
+    Targets are in seconds and feed both goodput accounting
+    (:meth:`~repro.simulator.metrics.SimulationMetrics.serving_summary`) and
+    the SLO-aware scheduler's admission/deadline logic.
+    """
+
+    tiers: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        normalized: Dict[str, Dict[str, float]] = {}
+        for tier, targets in dict(self.tiers).items():
+            if not isinstance(targets, Mapping):
+                raise SpecError(
+                    f'SLO tier {tier!r} must map to {{"ttft": seconds, "tpot": seconds}}'
+                )
+            unknown = sorted(set(targets) - {"ttft", "tpot"})
+            if unknown:
+                raise SpecError(
+                    f"unknown SLO target(s) {unknown} for tier {tier!r}; "
+                    'expected a subset of ["ttft", "tpot"]'
+                )
+            clean: Dict[str, float] = {}
+            for key, value in targets.items():
+                try:
+                    value = float(value)
+                except (TypeError, ValueError):
+                    raise SpecError(f"SLO {tier}.{key} must be a number, got {value!r}") from None
+                if value <= 0:
+                    raise SpecError(f"SLO {tier}.{key} must be > 0, got {value}")
+                clean[key] = value
+            if not clean:
+                raise SpecError(f"SLO tier {tier!r} sets no targets; drop it or add ttft/tpot")
+            normalized[tier] = clean
+        if not normalized:
+            raise SpecError("slo section needs at least one tier")
+        object.__setattr__(self, "tiers", normalized)
+
+    def targets(self) -> Dict[str, Dict[str, float]]:
+        """A plain mutable copy (the shape SimulationMetrics.slo_targets takes)."""
+        return {tier: dict(values) for tier, values in self.tiers.items()}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"tiers": self.targets()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SLOSection":
+        _check_keys(data, cls, "slo section")
+        return cls(tiers=dict(data.get("tiers", {})))
 
 
 @dataclass(frozen=True)
@@ -625,6 +713,42 @@ def _settings_from_dict(data: Mapping) -> ExperimentSettings:
 
 
 # --------------------------------------------------------------------------- #
+# Schema migration
+# --------------------------------------------------------------------------- #
+def _upcast_v1(data: Mapping) -> Dict[str, object]:
+    """Upcast a schema_version-1 document to the v2 shape.
+
+    v1 is a strict subset of v2 (v2 added the ``slo`` section, workload
+    ``token_mix``/``token_seed``, and the pool ``role`` field), so the upcast
+    is a re-stamp — but a v1 document that smuggles in v2-only constructs is
+    mislabelled, and we reject it rather than guess what the author meant.
+    """
+    offenders = []
+    if data.get("slo") is not None:
+        offenders.append("top-level 'slo' section")
+    workload = data.get("workload")
+    if isinstance(workload, Mapping):
+        for key in ("token_mix", "token_seed"):
+            if workload.get(key) is not None:
+                offenders.append(f"workload.{key}")
+    cluster = data.get("cluster")
+    if isinstance(cluster, Mapping):
+        pools = cluster.get("pools")
+        if isinstance(pools, Sequence):
+            for i, pool in enumerate(pools):
+                if isinstance(pool, Mapping) and pool.get("role") is not None:
+                    offenders.append(f"cluster.pools[{i}].role")
+    if offenders:
+        raise SpecError(
+            f"schema_version 1 spec uses v2-only construct(s): {offenders}; "
+            f"stamp the document schema_version {SCHEMA_VERSION} instead"
+        )
+    out = dict(data)
+    out["schema_version"] = SCHEMA_VERSION
+    return out
+
+
+# --------------------------------------------------------------------------- #
 # The spec tree
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -637,6 +761,7 @@ class ScenarioSpec:
     placement: Optional[PlacementSection] = None
     async_: Optional[AsyncSection] = None
     autoscaler: Optional[AutoscalerConfig] = None
+    slo: Optional[SLOSection] = None
     settings: ExperimentSettings = field(default_factory=ExperimentSettings)
     schema_version: int = SCHEMA_VERSION
 
@@ -648,7 +773,8 @@ class ScenarioSpec:
         if self.schema_version != SCHEMA_VERSION:
             raise SpecError(
                 f"unsupported spec schema_version {self.schema_version!r}; this build "
-                f"reads version {SCHEMA_VERSION}"
+                f"reads version {SCHEMA_VERSION} (v1 documents are upcast automatically "
+                "by ScenarioSpec.from_dict)"
             )
         if self.cluster.num_shards > 1:
             if self.workload.mode != "open":
@@ -666,6 +792,12 @@ class ScenarioSpec:
                 raise SpecError(
                     "per-shard placement policies are not supported yet; drop the "
                     "placement section or set num_shards=1"
+                )
+            if self.workload.token_mix is not None:
+                raise SpecError(
+                    "token-level serving metrics are single-cluster for now: "
+                    "FederationMetrics does not aggregate per-request token streams "
+                    "(drop workload.token_mix or set num_shards=1)"
                 )
         return self
 
@@ -685,6 +817,8 @@ class ScenarioSpec:
             out["async"] = self.async_.to_dict()
         if self.autoscaler is not None:
             out["autoscaler"] = _config_to_dict(self.autoscaler)
+        if self.slo is not None:
+            out["slo"] = self.slo.to_dict()
         out["settings"] = _config_to_dict(self.settings)
         return out
 
@@ -692,6 +826,8 @@ class ScenarioSpec:
     def from_dict(cls, data: Mapping) -> "ScenarioSpec":
         if not isinstance(data, Mapping):
             raise SpecError("a scenario spec must be a JSON object")
+        if data.get("schema_version", SCHEMA_VERSION) == 1:
+            data = _upcast_v1(data)
         known = {
             "schema_version",
             "scheduler",
@@ -700,6 +836,7 @@ class ScenarioSpec:
             "placement",
             "async",
             "autoscaler",
+            "slo",
             "settings",
         }
         unknown = sorted(set(data) - known)
@@ -724,6 +861,7 @@ class ScenarioSpec:
                 AsyncSection.from_dict(data["async"]) if data.get("async") is not None else None
             ),
             autoscaler=autoscaler,
+            slo=(SLOSection.from_dict(data["slo"]) if data.get("slo") is not None else None),
             settings=_settings_from_dict(data.get("settings", {})),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )

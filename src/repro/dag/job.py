@@ -39,6 +39,9 @@ class Job:
         self.application = application
         self.arrival_time = float(arrival_time)
         self.finish_time: Optional[float] = None
+        #: SLO tier of every request in this job ("default" unless a serving
+        #: workload assigns one); looked up against SLOSection targets.
+        self.priority: str = "default"
 
         self._stages: Dict[str, Stage] = {}
         self._graph = nx.DiGraph()
@@ -276,7 +279,7 @@ class Job:
                             progressed = True
                 if stage.state is StageState.BLOCKED:
                     if all(self._stages[p].is_complete for p in self._graph.predecessors(stage.stage_id)):
-                        stage.mark_ready()
+                        stage.mark_ready(time)
                         changed.append(stage.stage_id)
                         progressed = True
                 if stage.state is StageState.READY:

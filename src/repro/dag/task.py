@@ -40,6 +40,19 @@ class Task:
     how many requests share the batch while it runs (handled by the
     executor's latency model); ``progress`` tracks how much of ``work`` has
     been completed so far in batch-size-1-equivalent seconds.
+
+    Token model (opt-in, serving experiments only)
+    ----------------------------------------------
+    ``prompt_tokens`` / ``output_tokens`` split an LLM task into a prefill
+    phase (the first ``prefill_work`` batch-size-1 seconds of ``work``,
+    after which the first token is emitted) and a per-iteration decode
+    phase covering the remaining ``output_tokens - 1`` tokens.  The split
+    is a *decomposition* of the unchanged ``work`` value — progress
+    arithmetic, completion times and therefore every legacy trace are
+    bit-identical whether or not the token model is attached.  All token
+    fields stay ``None``/0 for legacy tasks; :meth:`set_token_model` is the
+    only sanctioned way to attach them (enforced by the REP007 invariant
+    lint).
     """
 
     job_id: str
@@ -54,6 +67,16 @@ class Task:
     finish_time: Optional[float] = None
     executor_id: Optional[str] = None
     num_preemptions: int = 0
+    #: Token model (None/0 = legacy JCT-only task; see class docstring).
+    prompt_tokens: Optional[int] = None
+    output_tokens: Optional[int] = None
+    prefill_work: float = 0.0
+    #: Absolute time the first output token was emitted (stamped by the
+    #: LLM executor when progress crosses ``prefill_work``).
+    first_token_time: Optional[float] = None
+    #: Absolute time the task became schedulable (its stage turned READY);
+    #: the TTFT anchor, so TTFT >= queueing delay by construction.
+    ready_time: Optional[float] = None
 
     def __post_init__(self) -> None:
         require_non_negative(self.work, "work")
@@ -71,6 +94,51 @@ class Task:
     @property
     def is_finished(self) -> bool:
         return self.state is TaskState.FINISHED
+
+    # ------------------------------------------------------------------ #
+    # Token model
+    # ------------------------------------------------------------------ #
+    @property
+    def has_token_model(self) -> bool:
+        return self.prompt_tokens is not None and self.output_tokens is not None
+
+    @property
+    def decode_work(self) -> float:
+        """Batch-size-1 seconds of the decode phase (``work - prefill_work``)."""
+        return max(0.0, self.work - self.prefill_work)
+
+    @property
+    def prefill_done(self) -> bool:
+        """Whether accrued progress already covers the prefill phase."""
+        return self.has_token_model and self.progress >= self.prefill_work
+
+    def per_token_decode_work(self) -> Optional[float]:
+        """Batch-size-1 seconds per decode token (None without a token model
+        or when the task emits a single token and has no decode phase)."""
+        if not self.has_token_model or self.output_tokens <= 1:
+            return None
+        return self.decode_work / (self.output_tokens - 1)
+
+    def set_token_model(
+        self, prompt_tokens: int, output_tokens: int, prefill_work: float
+    ) -> None:
+        """Attach per-request token counts and the prefill/decode split.
+
+        The split must decompose the existing ``work`` (``0 <= prefill_work
+        <= work``); it never changes the total, so legacy completion
+        arithmetic is untouched.  Only callable before the task starts.
+        """
+        if self.state is not TaskState.PENDING or self.progress > 0:
+            raise RuntimeError(f"task {self.uid} already started; cannot attach tokens")
+        if prompt_tokens < 1 or output_tokens < 1:
+            raise ValueError("prompt_tokens and output_tokens must be >= 1")
+        if prefill_work < 0 or prefill_work > self.work + 1e-12:
+            raise ValueError(
+                f"prefill_work {prefill_work} must lie within [0, work={self.work}]"
+            )
+        self.prompt_tokens = int(prompt_tokens)
+        self.output_tokens = int(output_tokens)
+        self.prefill_work = min(float(prefill_work), self.work)
 
     # ------------------------------------------------------------------ #
     def mark_running(self, time: float, executor_id: str) -> None:
@@ -102,6 +170,9 @@ class Task:
         if not checkpoint:
             wasted = self.progress
             self.progress = 0.0
+            # Restarting from scratch re-runs prefill, so the first token
+            # has not actually been delivered yet from the user's viewpoint.
+            self.first_token_time = None
         self.state = TaskState.PENDING
         self.start_time = None
         self.executor_id = None

@@ -20,6 +20,7 @@ from repro.schedulers.preemptive import PreemptiveSrtfScheduler
 from repro.schedulers.fcfs import FcfsScheduler
 from repro.schedulers.fair import FairScheduler
 from repro.schedulers.sjf import SjfScheduler
+from repro.schedulers.slo import SloServingScheduler
 from repro.schedulers.srtf import SrtfScheduler
 from repro.schedulers.argus import ArgusScheduler
 from repro.schedulers.carbyne import CarbyneScheduler
@@ -39,6 +40,7 @@ __all__ = [
     "FcfsScheduler",
     "FairScheduler",
     "SjfScheduler",
+    "SloServingScheduler",
     "SrtfScheduler",
     "ArgusScheduler",
     "CarbyneScheduler",

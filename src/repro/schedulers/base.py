@@ -64,6 +64,11 @@ class SchedulingContext:
     #: schedulers only), so victim remaining-*time* estimates stay correct
     #: on heterogeneous pools; executors absent from the map run at 1.0.
     executor_speeds: Dict[str, float] = field(default_factory=dict)
+    #: Executor-id → prefill/decode role (populated for preemptive
+    #: schedulers on disaggregated clusters only; empty otherwise).  Lets
+    #: SLO-aware policies detect requests that finished prefill on a
+    #: prefill-role executor and should migrate to a decode pool.
+    executor_roles: Dict[str, str] = field(default_factory=dict)
     #: Shard view (federated runs only): which shard of the fleet this
     #: context describes, how many shards exist, and the fleet-wide free
     #: capacity per task type.  Standalone runs keep the defaults, so
@@ -188,6 +193,7 @@ class SchedulingContext:
                 llm_batch_sizes=list(self.llm_batch_sizes),
                 inactive_executor_ids=set(self.inactive_executor_ids),
                 executor_speeds=dict(self.executor_speeds),
+                executor_roles=dict(self.executor_roles),
                 shard_name=self.shard_name,
                 shard_count=self.shard_count,
                 fleet_free_slots=dict(self.fleet_free_slots),
@@ -206,6 +212,7 @@ class SchedulingContext:
             llm_batch_sizes=list(self.llm_batch_sizes),
             inactive_executor_ids=set(self.inactive_executor_ids),
             executor_speeds=dict(self.executor_speeds),
+            executor_roles=dict(self.executor_roles),
             shard_name=self.shard_name,
             shard_count=self.shard_count,
             fleet_free_slots=dict(self.fleet_free_slots),

@@ -23,6 +23,7 @@ from repro.schedulers.fcfs import FcfsScheduler
 from repro.schedulers.preemptive import PreemptiveSrtfScheduler
 from repro.schedulers.priors import ApplicationPriors
 from repro.schedulers.sjf import SjfScheduler
+from repro.schedulers.slo import SloServingScheduler
 from repro.schedulers.srtf import SrtfScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
@@ -61,6 +62,7 @@ _SCHEDULER_CLASSES = {
     "argus": ArgusScheduler,
     "carbyne": CarbyneScheduler,
     "decima": DecimaScheduler,
+    "slo_serving": SloServingScheduler,
 }
 
 
@@ -68,19 +70,24 @@ def available_schedulers(
     include_llmsched: bool = True,
     include_preemptive: bool = False,
     include_ablations: bool = False,
+    include_serving: bool = False,
 ) -> List[str]:
     """Names accepted by :func:`create_scheduler`.
 
     ``include_preemptive`` is off by default so harness code that sweeps
     "the paper's schedulers" (all non-preemptive) is unaffected by the
     preemptive extension; ``include_ablations`` appends the LLMSched
-    ablation variants of Fig. 10.
+    ablation variants of Fig. 10; ``include_serving`` appends the
+    SLO-aware serving scheduler (token-model runs only — it degenerates
+    to arrival order without token-annotated requests).
     """
     names = list(_BASELINES) + ["srtf"]
     if include_llmsched:
         names.append("llmsched")
     if include_preemptive:
         names.append("srtf_preempt")
+    if include_serving:
+        names.append("slo_serving")
     if include_llmsched and include_ablations:
         names.extend(v for v in LLMSCHED_VARIANTS if v != "llmsched")
     return names
@@ -97,11 +104,11 @@ def scheduler_requirements(name: str) -> FrozenSet[str]:
         return frozenset({"priors"})
     if key in LLMSCHED_VARIANTS:
         return frozenset({"profiler"})
-    if key in {"fcfs", "fair", "argus"}:
+    if key in {"fcfs", "fair", "argus", "slo_serving"}:
         return frozenset()
     raise ValueError(
         f"unknown scheduler {name!r}; available: "
-        f"{available_schedulers(include_preemptive=True, include_ablations=True)}"
+        f"{available_schedulers(include_preemptive=True, include_ablations=True, include_serving=True)}"
     )
 
 
@@ -176,6 +183,8 @@ def create_scheduler(
         return PreemptiveSrtfScheduler(priors=_require_priors(key, priors), **kwargs)
     if key == "argus":
         return ArgusScheduler(**kwargs)
+    if key == "slo_serving":
+        return SloServingScheduler(**kwargs)
     if key == "carbyne":
         return CarbyneScheduler(_require_priors(key, priors), **kwargs)
     if key == "decima":
@@ -184,7 +193,7 @@ def create_scheduler(
         return _create_llmsched(key, profiler, settings, **kwargs)
     raise ValueError(
         f"unknown scheduler {name!r}; available: "
-        f"{available_schedulers(include_preemptive=True, include_ablations=True)}"
+        f"{available_schedulers(include_preemptive=True, include_ablations=True, include_serving=True)}"
     )
 
 

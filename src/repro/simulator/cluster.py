@@ -133,6 +133,9 @@ class Cluster:
         # schedulers can translate remaining work into remaining wall time
         # without reaching into executor objects.
         self._speed_of: Dict[str, float] = {}
+        # executor_id -> prefill/decode role (only executors of role-carrying
+        # pools appear; empty for every non-disaggregated cluster).
+        self._role_of: Dict[str, str] = {}
 
         self.pools: List[ExecutorPool] = []
         self._pools_by_name: Dict[str, ExecutorPool] = {}
@@ -151,6 +154,8 @@ class Cluster:
             self._by_id[executor.executor_id] = executor
             self._pool_name_of[executor.executor_id] = spec.name
             self._speed_of[executor.executor_id] = spec.speed_factor
+            if spec.role is not None:
+                self._role_of[executor.executor_id] = spec.role
             if spec.task_type is TaskType.REGULAR:
                 self._regular_index[executor.executor_id] = len(self.regular_executors)
                 self.regular_executors.append(executor)
@@ -245,6 +250,15 @@ class Cluster:
         dict to every scheduling context without copying.
         """
         return self._speed_of
+
+    def executor_roles(self) -> Dict[str, str]:
+        """Live executor-id → prefill/decode-role map (read-only by convention).
+
+        Like :meth:`executor_speeds`, roles are static per executor, so the
+        same dict is shared with every scheduling context.  Empty unless the
+        cluster declares disaggregated pools.
+        """
+        return self._role_of
 
     def regular_index(self, executor_id: str) -> int:
         """Flat pool index of a regular executor (for event bookkeeping)."""

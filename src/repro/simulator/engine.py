@@ -259,6 +259,12 @@ class SimulationEngine:
         self.metrics.makespan = self._time
         self.metrics.utilization = self.cluster.utilization(max(self._time, _EPS))
         self.metrics.pool_utilization = self.cluster.pool_utilization(max(self._time, _EPS))
+        # Token-grain serving accounting: executors are never removed from
+        # the cluster lists (they retire in place), so this drains every ITL
+        # sample exactly once.  No-ops (empty lists) on legacy runs.
+        self.metrics.num_llm_executors = len(self.cluster.llm_executors)
+        for executor in self.cluster.llm_executors:
+            self.metrics.record_itl_samples(executor.drain_itl_samples())
         return self.metrics
 
     @property
@@ -351,9 +357,10 @@ class SimulationEngine:
         if inactive:
             context.inactive_executor_ids = inactive
         if self.scheduler.preemptive:
-            # The cluster's speed map is static and shared, not copied, so
-            # this costs one reference per context.
+            # The cluster's speed and role maps are static and shared, not
+            # copied, so this costs two references per context.
             context.executor_speeds = self.cluster.executor_speeds()
+            context.executor_roles = self.cluster.executor_roles()
         if self.shard_count > 1 or self.shard_name:
             context.shard_name = self.shard_name
             context.shard_count = self.shard_count
@@ -720,6 +727,9 @@ class SimulationEngine:
                         self._mark_job_dirty(job)
                     self.cluster.finish_llm_task(executor, task, now, eps=eps)
                     finished_tasks.append(task)
+                    if task.has_token_model:
+                        tier = job.priority if job is not None else "default"
+                        self.metrics.record_llm_task_finish(task, tier)
             self._dirty_llm.add(index)
 
         for task in finished_tasks:

@@ -118,6 +118,11 @@ class LLMExecutor:
         self.running: List[Task] = []
         self.busy_time: float = 0.0
         self._last_update: float = 0.0
+        #: Inter-token latency samples (seconds/token), one per task per
+        #: constant-batch segment in which it emitted at least one decode
+        #: token.  Drained by the engine at finalize; bounded by the number
+        #: of batch-composition changes, not by token counts.
+        self.itl_samples: List[float] = []
 
     def _rate(self) -> float:
         """Per-request progress rate at the current batch size.
@@ -153,9 +158,44 @@ class LLMExecutor:
         if elapsed > 0 and self.running:
             rate = self._rate()
             for task in self.running:
+                old_progress = task.progress
                 task.advance(elapsed * rate)
+                if task.has_token_model:
+                    self._record_token_progress(task, old_progress, rate)
             self.busy_time += elapsed
         self._last_update = float(time)
+
+    def _record_token_progress(self, task: Task, old_progress: float, rate: float) -> None:
+        """Token-grain instrumentation for one constant-batch segment.
+
+        Pure observation on top of the legacy progress arithmetic: it reads
+        the progress a task accrued between ``old_progress`` and
+        ``task.progress`` (both already computed by the unchanged
+        ``task.advance`` call) and derives token events from the
+        prefill/decode decomposition.  ``self._last_update`` is still the
+        segment start time when this runs.
+        """
+        # First token: progress crossed the prefill boundary this segment.
+        if task.first_token_time is None and task.progress >= task.prefill_work:
+            crossing = (task.prefill_work - old_progress) / rate
+            task.first_token_time = self._last_update + max(0.0, crossing)
+        # Inter-token latency: one sample per segment in which the task
+        # emitted at least one whole decode token.  At a constant batch rate
+        # every decode token takes per_token_decode_work / rate wall-clock
+        # seconds, so the sample value is exact, not an average.
+        per_token = task.per_token_decode_work()
+        if per_token is None or per_token <= 0:
+            return
+        old_tokens = math.floor(max(0.0, old_progress - task.prefill_work) / per_token)
+        new_tokens = math.floor(max(0.0, task.progress - task.prefill_work) / per_token)
+        if new_tokens > old_tokens:
+            self.itl_samples.append(per_token / rate)
+
+    def drain_itl_samples(self) -> List[float]:
+        """Hand the accumulated ITL samples to the caller and reset."""
+        samples = self.itl_samples
+        self.itl_samples = []
+        return samples
 
     def add_task(self, task: Task, time: float) -> None:
         """Admit a new request to the batch at ``time``."""
@@ -204,6 +244,10 @@ class LLMExecutor:
             raise RuntimeError(
                 f"task {task.key()} still has {task.remaining_work:.6f}s of work"
             )
+        if task.has_token_model and task.first_token_time is None:
+            # Zero-elapsed edge (e.g. zero-work requests): the first token
+            # is emitted at completion.
+            task.first_token_time = float(time)
         task.mark_finished(time)
         self.running.remove(task)
 

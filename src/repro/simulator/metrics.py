@@ -3,11 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.utils.stats import OnlineStats, summarize
+from repro.utils.stats import OnlineStats, percentile_summary, summarize
 
-__all__ = ["SimulationMetrics"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dag.task import Task
+
+__all__ = ["SimulationMetrics", "SERVING_METRICS_VERSION"]
+
+#: Version of the ``serving`` summary block (Result API / BENCH payloads).
+SERVING_METRICS_VERSION = 1
 
 
 @dataclass
@@ -55,6 +61,18 @@ class SimulationMetrics:
     num_stale_placements: int = 0
     num_placement_conflicts: int = 0
     num_stale_preemptions: int = 0
+    #: Token-level serving accounting (token-model workloads only; every
+    #: container stays empty on legacy runs so ``to_dict`` is byte-identical
+    #: to the pre-serving output there).  ``serving_requests`` holds one
+    #: record per finished LLM request; ``itl_samples`` are drained from the
+    #: executors at finalize; ``slo_targets`` maps tier -> {"ttft", "tpot"}
+    #: seconds (installed by the API layer from the spec's SLOSection).
+    serving_requests: List[Dict[str, object]] = field(default_factory=list)
+    itl_samples: List[float] = field(default_factory=list)
+    total_prompt_tokens: int = 0
+    total_output_tokens: int = 0
+    num_llm_executors: int = 0
+    slo_targets: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def record_job_completion(self, job_id: str, application: str, jct: float) -> None:
@@ -101,6 +119,102 @@ class SimulationMetrics:
         self.num_stale_preemptions += 1
 
     # ------------------------------------------------------------------ #
+    # Token-level serving accounting
+    # ------------------------------------------------------------------ #
+    def record_llm_task_finish(self, task: "Task", tier: str) -> None:
+        """Record the serving latencies of one finished token-model request.
+
+        TTFT is anchored at the task's ready time (when it became
+        schedulable), so it upper-bounds queueing delay by construction;
+        TPOT only exists for multi-token requests.
+        """
+        if not task.has_token_model or task.finish_time is None:
+            return
+        ready = task.ready_time if task.ready_time is not None else task.finish_time
+        first = task.first_token_time if task.first_token_time is not None else task.finish_time
+        ttft = max(0.0, first - ready)
+        tpot: Optional[float] = None
+        if task.output_tokens is not None and task.output_tokens > 1:
+            tpot = max(0.0, task.finish_time - first) / (task.output_tokens - 1)
+        self.serving_requests.append(
+            {
+                "job_id": task.job_id,
+                "tier": tier,
+                "prompt_tokens": int(task.prompt_tokens or 0),
+                "output_tokens": int(task.output_tokens or 0),
+                "ready_time": float(ready),
+                "first_token_time": float(first),
+                "finish_time": float(task.finish_time),
+                "ttft": float(ttft),
+                "tpot": tpot,
+            }
+        )
+        self.total_prompt_tokens += int(task.prompt_tokens or 0)
+        self.total_output_tokens += int(task.output_tokens or 0)
+
+    def record_itl_samples(self, samples: List[float]) -> None:
+        self.itl_samples.extend(samples)
+
+    @property
+    def has_serving_samples(self) -> bool:
+        return bool(self.serving_requests)
+
+    def _request_meets_slo(self, request: Dict[str, object]) -> bool:
+        targets = self.slo_targets.get(str(request["tier"])) or self.slo_targets.get("default")
+        if not targets:
+            return True  # unconstrained tier: nothing to violate
+        ttft_target = targets.get("ttft")
+        if ttft_target is not None and float(request["ttft"]) > ttft_target:
+            return False
+        tpot_target = targets.get("tpot")
+        tpot = request.get("tpot")
+        if tpot_target is not None and tpot is not None and float(tpot) > tpot_target:
+            return False
+        return True
+
+    def serving_summary(self) -> Dict[str, object]:
+        """The versioned ``serving`` block of the Result API.
+
+        All percentiles come from :func:`repro.utils.stats.percentile_summary`
+        — the one shared implementation the CLI, the benchmark writers and
+        the regression gate consume, so their numbers agree exactly.
+        """
+        requests = self.serving_requests
+        ttfts = [float(r["ttft"]) for r in requests]
+        tpots = [float(r["tpot"]) for r in requests if r.get("tpot") is not None]
+        tiers = sorted({str(r["tier"]) for r in requests})
+        goodput: Dict[str, float] = {}
+        met_total = 0
+        for tier in tiers:
+            in_tier = [r for r in requests if r["tier"] == tier]
+            met = sum(1 for r in in_tier if self._request_meets_slo(r))
+            met_total += met
+            goodput[tier] = met / len(in_tier) if in_tier else 0.0
+        # Fleet-level token throughput (TPS/GPU) vs per-user token velocity
+        # (TPS/User): the serving Pareto axes.
+        tps_per_gpu = 0.0
+        if self.makespan > 0 and self.num_llm_executors > 0:
+            tps_per_gpu = self.total_output_tokens / (self.makespan * self.num_llm_executors)
+        per_user = [
+            int(r["output_tokens"]) / max(1e-12, float(r["finish_time"]) - float(r["ready_time"]))
+            for r in requests
+        ]
+        return {
+            "version": SERVING_METRICS_VERSION,
+            "num_requests": len(requests),
+            "total_prompt_tokens": self.total_prompt_tokens,
+            "total_output_tokens": self.total_output_tokens,
+            "ttft": percentile_summary(ttfts),
+            "tpot": percentile_summary(tpots),
+            "itl": percentile_summary(self.itl_samples),
+            "goodput": goodput,
+            "goodput_overall": met_total / len(requests) if requests else 0.0,
+            "tps_per_gpu": tps_per_gpu,
+            "tps_per_user": float(sum(per_user) / len(per_user)) if per_user else 0.0,
+            "slo_targets": {t: dict(v) for t, v in sorted(self.slo_targets.items())},
+        }
+
+    # ------------------------------------------------------------------ #
     @property
     def average_jct(self) -> float:
         if not self.job_completion_times:
@@ -127,7 +241,7 @@ class SimulationMetrics:
 
     def to_dict(self) -> Dict[str, object]:
         """Flat summary used by the experiment report writers."""
-        return {
+        data: Dict[str, object] = {
             "scheduler": self.scheduler_name,
             "workload": self.workload_name,
             "num_jobs": len(self.job_completion_times),
@@ -153,3 +267,8 @@ class SimulationMetrics:
             "num_placement_conflicts": self.num_placement_conflicts,
             "num_stale_preemptions": self.num_stale_preemptions,
         }
+        if self.has_serving_samples:
+            # Only token-model runs carry the block, so legacy consumers
+            # (golden traces, existing BENCH baselines) see an unchanged dict.
+            data["serving"] = self.serving_summary()
+        return data

@@ -18,7 +18,7 @@ from __future__ import annotations
 import abc
 from typing import Callable, Dict, Optional
 
-from repro.dag.task import Task
+from repro.dag.task import Task, TaskType
 from repro.simulator.cluster import Cluster
 from repro.simulator.pool import ExecutorPool
 
@@ -27,6 +27,7 @@ __all__ = [
     "GreedyFirstFitPlacement",
     "BestFitPlacement",
     "PoolAffinityPlacement",
+    "PrefillDecodePlacement",
     "available_placement_policies",
     "create_placement_policy",
 ]
@@ -119,9 +120,48 @@ class PoolAffinityPlacement(PlacementPolicy):
         return self._fallback.select_pool(cluster, task)
 
 
+class PrefillDecodePlacement(PlacementPolicy):
+    """Phase-aware routing for disaggregated prefill/decode LLM pools.
+
+    Token-model LLM tasks land on the pool whose :attr:`~repro.simulator.
+    pool.PoolSpec.role` matches their current phase: requests still in
+    prefill prefer ``"prefill"`` pools, requests past their prefill
+    boundary (fresh admits resuming after a handoff preemption) prefer
+    ``"decode"`` pools.  Role-less pools rank second and opposite-role
+    pools last — the policy stays work-conserving, trading role purity for
+    an occupied slot rather than leaving the task pending.  Regular tasks
+    and LLM tasks outside the token model use greedy first-fit, so on a
+    cluster without role annotations this policy degenerates to the
+    default exactly.
+    """
+
+    name = "prefill_decode"
+
+    def select_pool(self, cluster: Cluster, task: Task) -> Optional[ExecutorPool]:
+        if task.task_type is not TaskType.LLM or not task.has_token_model:
+            for pool in cluster.pools_for(task.task_type):
+                if pool.free_slots > 0:
+                    return pool
+            return None
+        want = "decode" if task.prefill_done else "prefill"
+        best: Optional[ExecutorPool] = None
+        best_rank = 3
+        for pool in cluster.pools_for(task.task_type):
+            if pool.free_slots <= 0:
+                continue
+            role = pool.spec.role
+            rank = 0 if role == want else (1 if role is None else 2)
+            if rank < best_rank:
+                best, best_rank = pool, rank
+                if rank == 0:
+                    break  # declaration order breaks ties within a rank
+        return best
+
+
 _POLICIES: Dict[str, Callable[[], PlacementPolicy]] = {
     "greedy": GreedyFirstFitPlacement,
     "best_fit": BestFitPlacement,
+    "prefill_decode": PrefillDecodePlacement,
 }
 
 

@@ -64,6 +64,12 @@ class PoolSpec:
         Prefix of generated executor ids; defaults to the pool name.  The
         default two-pool cluster passes ``reg`` / ``llm`` so ids match the
         pre-pool cluster exactly.
+    role:
+        Serving role for prefill/decode disaggregation (LLM pools only):
+        ``"prefill"`` pools prefer requests still in their prefill phase,
+        ``"decode"`` pools prefer requests past it (routed by the
+        ``prefill_decode`` placement policy).  ``None`` (the default) keeps
+        the pool role-agnostic and all placement behavior unchanged.
     """
 
     name: str
@@ -75,6 +81,7 @@ class PoolSpec:
     min_executors: int = 1
     max_executors: Optional[int] = None
     executor_id_prefix: Optional[str] = None
+    role: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -83,6 +90,10 @@ class PoolSpec:
             raise ValueError("num_executors must be >= 1")
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if self.role is not None and self.role not in ("prefill", "decode"):
+            raise ValueError(f"role must be 'prefill' or 'decode', got {self.role!r}")
+        if self.role is not None and self.task_type is not TaskType.LLM:
+            raise ValueError("only LLM pools can carry a prefill/decode role")
         if self.task_type is TaskType.REGULAR and self.max_batch_size != 1:
             raise ValueError("regular pools run one task per executor (max_batch_size=1)")
         if self.latency_slope < 0:

@@ -95,6 +95,11 @@ class ReferenceSimulationEngine:
         self.metrics.num_events = iterations
         self.metrics.makespan = self._time
         self.metrics.utilization = self.cluster.utilization(max(self._time, _EPS))
+        # Same drain as the fast engine's finalize (executors retire in
+        # place, so every ITL sample is collected exactly once).
+        self.metrics.num_llm_executors = len(self.cluster.llm_executors)
+        for executor in self.cluster.llm_executors:
+            self.metrics.record_itl_samples(executor.drain_itl_samples())
         return self.metrics
 
     @property
@@ -197,6 +202,10 @@ class ReferenceSimulationEngine:
                 if task.remaining_work <= self.config.eps:
                     self.cluster.finish_llm_task(executor, task, now, eps=self.config.eps)
                     finished_tasks.append(task)
+                    if task.has_token_model:
+                        owner = self._jobs_by_id.get(task.job_id)
+                        tier = owner.priority if owner is not None else "default"
+                        self.metrics.record_llm_task_finish(task, tier)
 
         for task in finished_tasks:
             self.metrics.num_tasks_executed += 1

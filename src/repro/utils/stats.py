@@ -20,6 +20,7 @@ __all__ = [
     "pearson_correlation_matrix",
     "histogram_probabilities",
     "summarize",
+    "percentile_summary",
 ]
 
 
@@ -132,6 +133,33 @@ class OnlineStats:
             "min": self.minimum if self.count else float("nan"),
             "max": self.maximum if self.count else float("nan"),
         }
+
+
+def percentile_summary(
+    values: Sequence[float],
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> Dict[str, float]:
+    """count / mean / pXX summary of a latency-sample sequence.
+
+    The single percentile implementation behind every serving-latency
+    surface (Result ``serving`` block, the ``pareto`` CLI, benchmark
+    writers, the regression gate) so their numbers agree bit-for-bit.
+    Percentile keys are formatted ``p50`` / ``p99.9`` (trailing ``.0``
+    dropped).  Empty input yields ``count == 0`` and NaNs.
+    """
+    arr = np.asarray(list(values), dtype=float)
+
+    def _key(q: float) -> str:
+        return f"p{int(q)}" if float(q).is_integer() else f"p{q}"
+
+    if arr.size == 0:
+        out = {"count": 0.0, "mean": float("nan")}
+        out.update({_key(q): float("nan") for q in percentiles})
+        return out
+    out = {"count": float(arr.size), "mean": float(arr.mean())}
+    for q in percentiles:
+        out[_key(q)] = float(np.percentile(arr, q))
+    return out
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:

@@ -32,6 +32,13 @@ from repro.workloads.mixtures import (
     generate_workload,
     poisson_arrival_times,
 )
+from repro.workloads.serving import (
+    DEFAULT_SLO_TARGETS,
+    TOKEN_MIXES,
+    TokenProfile,
+    attach_token_model,
+    available_token_mixes,
+)
 from repro.workloads.arrivals import (
     ArrivalProcess,
     BurstyProcess,
@@ -69,4 +76,9 @@ __all__ = [
     "default_applications",
     "generate_workload",
     "poisson_arrival_times",
+    "TokenProfile",
+    "TOKEN_MIXES",
+    "DEFAULT_SLO_TARGETS",
+    "available_token_mixes",
+    "attach_token_model",
 ]

@@ -1,0 +1,152 @@
+"""Token profiles for serving workloads: chat / batch / agentic traffic.
+
+The paper's evaluation treats an LLM stage as one opaque duration.  Real
+serving fleets see *requests*: a prompt processed in one prefill pass
+followed by an autoregressive decode stream, with per-tier latency SLOs
+(TTFT for responsiveness, TPOT for stream smoothness).  This module layers
+that view on top of the existing generators without changing any duration:
+:func:`attach_token_model` samples per-request ``prompt_tokens`` /
+``output_tokens`` from seeded mix distributions and *decomposes* each LLM
+task's ground-truth ``work`` into a prefill and a decode phase, so the
+clock arithmetic — and therefore every legacy trace — is untouched.
+
+A mix is a weighted set of :class:`TokenProfile` draws modelled on the
+three canonical serving traffic classes:
+
+* ``chat``    — short prompts, mid-length replies, interactive tier.
+* ``batch``   — long documents in, long summaries out, throughput tier.
+* ``agentic`` — many short tool-calling turns, interactive tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dag.job import Job
+from repro.utils.rng import make_rng
+from repro.utils.validation import require_positive
+from repro.workloads.base import sample_lognormal
+
+__all__ = [
+    "TokenProfile",
+    "TOKEN_MIXES",
+    "DEFAULT_SLO_TARGETS",
+    "available_token_mixes",
+    "attach_token_model",
+]
+
+#: Fraction of decode-token cost one *prompt* token costs during prefill.
+#: Prefill processes the whole prompt in parallel passes, so per-token it
+#: is far cheaper than autoregressive decode; 0.15 sits in the range real
+#: serving engines report (prefill throughput ~5-10x decode throughput).
+PREFILL_TOKEN_COST = 0.15
+
+
+@dataclass(frozen=True)
+class TokenProfile:
+    """Lognormal prompt/output token distribution for one request class."""
+
+    name: str
+    tier: str
+    prompt_mean: float
+    output_mean: float
+    prompt_sigma: float = 0.6
+    output_sigma: float = 0.6
+    min_tokens: int = 4
+
+    def __post_init__(self) -> None:
+        require_positive(self.prompt_mean, "prompt_mean")
+        require_positive(self.output_mean, "output_mean")
+        if self.min_tokens < 1:
+            raise ValueError("min_tokens must be >= 1")
+
+    def sample(self, rng: np.random.Generator) -> Tuple[int, int]:
+        prompt = sample_lognormal(rng, self.prompt_mean, self.prompt_sigma, self.min_tokens)
+        output = sample_lognormal(rng, self.output_mean, self.output_sigma, self.min_tokens)
+        return max(self.min_tokens, round(prompt)), max(self.min_tokens, round(output))
+
+
+#: The three canonical serving traffic classes as weighted profile draws.
+TOKEN_MIXES: Dict[str, Sequence[Tuple[TokenProfile, float]]] = {
+    "chat": (
+        (TokenProfile("chat_turn", "interactive", prompt_mean=180.0, output_mean=240.0), 0.8),
+        (TokenProfile("chat_long", "interactive", prompt_mean=900.0, output_mean=500.0), 0.2),
+    ),
+    "batch": (
+        (TokenProfile("doc_summarize", "batch", prompt_mean=3000.0, output_mean=600.0), 0.6),
+        (TokenProfile("doc_extract", "batch", prompt_mean=2000.0, output_mean=150.0), 0.4),
+    ),
+    "agentic": (
+        (TokenProfile("tool_call", "interactive", prompt_mean=400.0, output_mean=60.0), 0.6),
+        (TokenProfile("agent_plan", "interactive", prompt_mean=600.0, output_mean=300.0), 0.3),
+        (TokenProfile("agent_batch", "batch", prompt_mean=1500.0, output_mean=400.0), 0.1),
+    ),
+}
+
+#: Per-tier serving SLOs (seconds) matched to the simulator's duration
+#: scale; specs can override them through their SLOSection.
+DEFAULT_SLO_TARGETS: Dict[str, Dict[str, float]] = {
+    "interactive": {"ttft": 8.0, "tpot": 0.08},
+    "batch": {"ttft": 60.0, "tpot": 0.5},
+}
+
+
+def available_token_mixes() -> List[str]:
+    """Names accepted by :func:`attach_token_model` (and spec ``token_mix``)."""
+    return sorted(TOKEN_MIXES)
+
+
+def _prefill_split(work: float, prompt_tokens: int, output_tokens: int) -> float:
+    """Prefill share of ``work`` under the relative per-token cost model.
+
+    ``work`` is split proportionally to ``prompt_tokens * PREFILL_TOKEN_COST``
+    (prefill) vs ``output_tokens - 1`` (decode iterations after the first
+    token); a single-token request is pure prefill.  The two shares always
+    sum to exactly ``work``, so the decomposition never perturbs the clock.
+    """
+    prefill_cost = prompt_tokens * PREFILL_TOKEN_COST
+    decode_cost = max(0, output_tokens - 1)
+    if decode_cost == 0:
+        return work
+    return work * prefill_cost / (prefill_cost + decode_cost)
+
+
+def attach_token_model(
+    jobs: Iterable[Job],
+    mix: str,
+    seed: int = 0,
+) -> int:
+    """Attach sampled token counts to every LLM task of every job.
+
+    Jobs are processed in the given order with a dedicated, seeded RNG, so
+    the same (jobs, mix, seed) triple always produces identical token
+    streams regardless of how the jobs themselves were generated.  Each job
+    draws one profile (all its requests belong to one conversation class)
+    and inherits the profile's SLO tier as ``job.priority``.  Returns the
+    number of tasks annotated.
+    """
+    if mix not in TOKEN_MIXES:
+        raise ValueError(f"unknown token mix {mix!r}; available: {available_token_mixes()}")
+    profiles = [p for p, _ in TOKEN_MIXES[mix]]
+    weights = np.asarray([w for _, w in TOKEN_MIXES[mix]], dtype=float)
+    weights = weights / weights.sum()
+    rng = make_rng(seed)
+    annotated = 0
+    for job in jobs:
+        profile = profiles[int(rng.choice(len(profiles), p=weights))]
+        job.priority = profile.tier
+        for stage in job.stages.values():
+            if not stage.is_llm:
+                continue
+            for task in stage.tasks:
+                prompt_tokens, output_tokens = profile.sample(rng)
+                task.set_token_model(
+                    prompt_tokens,
+                    output_tokens,
+                    _prefill_split(task.work, prompt_tokens, output_tokens),
+                )
+                annotated += 1
+    return annotated

@@ -1,8 +1,8 @@
 # repro: lint-as=src/repro/simulator/engine.py
-"""The gate-bites fixture: one seeded violation for each of REP001-REP006.
+"""The gate-bites fixture: one seeded violation for each of REP001-REP007.
 
 ``tests/test_analysis_rules.py`` asserts the analyzer reports *exactly* the
-six codes on this file; if a rule rots and stops firing here, tier 1 fails.
+seven codes on this file; if a rule rots and stops firing here, tier 1 fails.
 """
 
 import copy
@@ -23,4 +23,5 @@ class _BrokenEngine:
         frozen = context.snapshot()  # REP006: unaudited snapshot site
         ready = {task.key() for task in context.tasks}
         ordered = [task for task in ready]  # REP005: set iteration
+        context.head.first_token_time = started  # REP007: token-phase write
         return rng, started, plan, frozen, ordered

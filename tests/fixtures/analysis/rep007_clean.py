@@ -1,0 +1,19 @@
+# repro: lint-as=src/repro/schedulers/slo.py
+"""REP007-clean: reads and the sanctioned Task API are fine anywhere."""
+
+
+def deadline(task, ttft):
+    return task.ready_time + ttft
+
+
+def decompose(task, prefill):
+    # The sanctioned mutation route: the Task API, not raw attribute writes.
+    task.set_token_model(prompt_tokens=8, output_tokens=8, prefill_work=prefill)
+    return task.prefill_work, task.first_token_time
+
+
+def local_shadow(prompt_tokens):
+    # Plain names (no attribute access) are not token-phase state.
+    ready_time = 0.0
+    first_token_time = prompt_tokens + ready_time
+    return first_token_time

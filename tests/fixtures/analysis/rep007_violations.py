@@ -1,0 +1,15 @@
+# repro: lint-as=src/repro/schedulers/slo.py
+"""REP007 violations: token-phase writes outside task/stage/executor."""
+
+
+def forge_first_token(task, now):
+    task.first_token_time = now  # forging a serving sample nobody simulated
+    task.prefill_work = 0.0  # breaks prefill + decode == work
+
+
+def inflate(task):
+    task.output_tokens += 1
+
+
+def requeue(task, when, out):
+    out, task.ready_time = when, when  # tuple-unpacking write still counts

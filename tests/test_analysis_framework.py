@@ -89,6 +89,7 @@ class TestSelection:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         ]
 
     def test_unknown_select_code_raises(self):
@@ -160,6 +161,7 @@ class TestReport:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         }
         for finding in payload["findings"]:
             assert set(finding) == {"code", "path", "line", "col", "message"}

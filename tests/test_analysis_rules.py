@@ -1,4 +1,4 @@
-"""Rule-by-rule tests for the REP001-REP006 invariants.
+"""Rule-by-rule tests for the REP001-REP007 invariants.
 
 Each rule gets a clean fixture (must stay silent) and a violating fixture
 (pinned finding count), all scoped via ``lint-as`` pragmas.  The broken-engine
@@ -18,7 +18,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
 ENGINE = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
 
-ALL_CODES = {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"}
+ALL_CODES = {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"}
 
 
 def _codes(path, **kwargs):
@@ -37,6 +37,7 @@ def _codes(path, **kwargs):
         ("REP004", 2),
         ("REP005", 4),
         ("REP006", 1),
+        ("REP007", 4),
     ],
 )
 def test_violation_fixture_fires_exactly_its_code(code, expected):
@@ -91,6 +92,17 @@ def test_rep004_oracle_allowlist(tmp_path):
     base = _scoped(tmp_path, "b/src/repro/schedulers/base.py", body)
     assert _codes(stray, select=["REP004"]) == {"REP004": 1}
     assert _codes(base, select=["REP004"]) == {}
+
+
+def test_rep007_sanctioned_writers_allowlisted(tmp_path):
+    body = "def f(task, now):\n    task.first_token_time = now\n"
+    for owner in ("dag/task.py", "dag/stage.py", "simulator/executor.py"):
+        path = _scoped(tmp_path, f"own/src/repro/{owner}", body)
+        assert _codes(path, select=["REP007"]) == {}
+    stray = _scoped(tmp_path, "stray/src/repro/simulator/engine.py", body)
+    assert _codes(stray, select=["REP007"]) == {"REP007": 1}
+    metrics = _scoped(tmp_path, "m/src/repro/core/metrics.py", body)
+    assert _codes(metrics, select=["REP007"]) == {"REP007": 1}
 
 
 def test_rules_skip_tests_scope(tmp_path):

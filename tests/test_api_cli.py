@@ -75,7 +75,15 @@ class TestGrid:
 class TestValidate:
     def test_validate_ok(self, spec_file, capsys):
         assert main(["validate", str(spec_file)]) == 0
-        assert "ok (fcfs, closed-loop, 1 shard(s))" in capsys.readouterr().out
+        assert "ok (schema v2, fcfs, closed-loop, 1 shard(s))" in capsys.readouterr().out
+
+    def test_validate_reports_v1_upcast(self, spec_file, tmp_path, capsys):
+        doc = json.loads(spec_file.read_text())
+        doc["schema_version"] = 1
+        v1 = tmp_path / "v1.json"
+        v1.write_text(json.dumps(doc))
+        assert main(["validate", str(v1)]) == 0
+        assert "ok (schema v1 upcast to v2," in capsys.readouterr().out
 
     def test_validate_reports_actionable_error(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"

@@ -22,6 +22,7 @@ from repro.api import (
     PlacementSection,
     ScenarioSpec,
     SchedulerSection,
+    SLOSection,
     SpecError,
     WorkloadSection,
     with_overrides,
@@ -38,6 +39,7 @@ from repro.workloads.arrivals import (
     superpose,
 )
 from repro.workloads.mixtures import WorkloadType
+from repro.workloads.serving import available_token_mixes
 
 
 # --------------------------------------------------------------------------- #
@@ -161,6 +163,105 @@ class TestValidation:
         with pytest.raises(SpecError, match="not valid JSON"):
             ScenarioSpec.from_json("{nope")
 
+    def test_unknown_token_mix_lists_available(self):
+        with pytest.raises(SpecError, match="unknown token_mix 'bogus'.*chat"):
+            WorkloadSection.closed_loop(token_mix="bogus")
+
+    def test_token_seed_requires_mix(self):
+        with pytest.raises(SpecError, match="token_seed.*token_mix"):
+            WorkloadSection.closed_loop(token_seed=3)
+
+    def test_slo_unknown_target_key(self):
+        with pytest.raises(SpecError, match="unknown SLO target.*ttftt"):
+            SLOSection(tiers={"interactive": {"ttftt": 1.0}})
+
+    def test_slo_non_positive_target(self):
+        with pytest.raises(SpecError, match="must be > 0"):
+            SLOSection(tiers={"interactive": {"ttft": 0.0}})
+
+    def test_slo_empty_tier(self):
+        with pytest.raises(SpecError, match="sets no targets"):
+            SLOSection(tiers={"interactive": {}})
+
+    def test_slo_needs_a_tier(self):
+        with pytest.raises(SpecError, match="at least one tier"):
+            SLOSection(tiers={})
+
+    def test_federation_rejects_token_mix(self):
+        with pytest.raises(SpecError, match="single-cluster.*token"):
+            ScenarioSpec(
+                workload=WorkloadSection(
+                    mode="open",
+                    process=PoissonProcess(rate=1.0),
+                    max_jobs=5,
+                    token_mix="chat",
+                ),
+                cluster=ClusterSection(config=ClusterConfig(), num_shards=2),
+            ).validate()
+
+
+# --------------------------------------------------------------------------- #
+# Schema v1 -> v2 migration
+# --------------------------------------------------------------------------- #
+class TestSchemaMigration:
+    V1_DOC = {
+        "schema_version": 1,
+        "scheduler": {"name": "fcfs"},
+        "workload": {"mode": "closed", "workload_type": "mixed", "num_jobs": 4},
+        "cluster": {"config": {"num_regular_executors": 2, "num_llm_executors": 1}},
+    }
+
+    def test_v1_doc_upcasts_to_current_schema(self):
+        spec = ScenarioSpec.from_dict(self.V1_DOC)
+        assert spec.schema_version == 2
+        assert spec.scheduler.name == "fcfs"
+        # The upcast is idempotent: serializing re-stamps the document.
+        assert spec.to_dict()["schema_version"] == 2
+
+    def test_v1_doc_rejects_v2_only_slo_section(self):
+        doc = {**self.V1_DOC, "slo": {"tiers": {"interactive": {"ttft": 5.0}}}}
+        with pytest.raises(SpecError, match="schema_version 1.*v2-only.*slo"):
+            ScenarioSpec.from_dict(doc)
+
+    def test_v1_doc_rejects_v2_only_token_mix(self):
+        doc = {
+            **self.V1_DOC,
+            "workload": {**self.V1_DOC["workload"], "token_mix": "chat"},
+        }
+        with pytest.raises(SpecError, match="schema_version 1.*v2-only.*token_mix"):
+            ScenarioSpec.from_dict(doc)
+
+    def test_v1_doc_rejects_v2_only_pool_role(self):
+        doc = {
+            **self.V1_DOC,
+            "cluster": {
+                "pools": [
+                    {
+                        "name": "gpu",
+                        "task_type": "llm",
+                        "num_executors": 1,
+                        "role": "prefill",
+                    }
+                ]
+            },
+        }
+        with pytest.raises(SpecError, match="schema_version 1.*v2-only.*role"):
+            ScenarioSpec.from_dict(doc)
+
+    def test_committed_v1_example_loads_through_v2_reader(self):
+        # examples/specs/closed_mixed_fcfs.json is deliberately kept at
+        # schema v1 as the living migration regression.
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parent.parent / "examples" / "specs" / "closed_mixed_fcfs.json"
+        )
+        raw = json.loads(path.read_text())
+        assert raw["schema_version"] == 1
+        spec = ScenarioSpec.from_json(path.read_text())
+        assert spec.schema_version == 2
+        spec.validate()
+
 
 class TestAsyncSectionBridge:
     def test_from_async_config_roundtrip_fixed(self):
@@ -281,13 +382,23 @@ _processes = st.recursive(
     max_leaves=4,
 )
 
-_closed_workloads = st.builds(
-    WorkloadSection.closed_loop,
-    workload_type=st.sampled_from([w.value for w in WorkloadType]),
-    num_jobs=st.integers(1, 500),
-    arrival_rate=_rates,
-    seed=_seeds,
-)
+@st.composite
+def _closed_workload_strategy(draw):
+    # token_seed is only legal alongside a token_mix (validated), so the
+    # strategy draws them dependently.
+    token_mix = draw(st.one_of(st.none(), st.sampled_from(available_token_mixes())))
+    token_seed = draw(st.one_of(st.none(), _seeds)) if token_mix is not None else None
+    return WorkloadSection.closed_loop(
+        workload_type=draw(st.sampled_from([w.value for w in WorkloadType])),
+        num_jobs=draw(st.integers(1, 500)),
+        arrival_rate=draw(_rates),
+        seed=draw(_seeds),
+        token_mix=token_mix,
+        token_seed=token_seed,
+    )
+
+
+_closed_workloads = _closed_workload_strategy()
 
 _open_workloads = st.builds(
     WorkloadSection.open_loop,
@@ -324,6 +435,7 @@ _pools = st.lists(
             num_executors=st.integers(1, 4),
             max_batch_size=st.integers(1, 16),
             speed_factor=st.floats(0.5, 2.0, exclude_min=True),
+            role=st.sampled_from([None, "prefill", "decode"]),
         ),
     ),
     min_size=1,
@@ -360,6 +472,27 @@ _async_sections = st.one_of(
         kind=st.just("sampled"),
         samples=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=4).map(tuple),
         seed=_seeds,
+    ),
+)
+
+_slo_targets = st.one_of(
+    st.fixed_dictionaries({"ttft": st.floats(0.1, 100.0)}),
+    st.fixed_dictionaries({"tpot": st.floats(0.001, 1.0)}),
+    st.fixed_dictionaries(
+        {"ttft": st.floats(0.1, 100.0), "tpot": st.floats(0.001, 1.0)}
+    ),
+)
+
+_slo_sections = st.one_of(
+    st.none(),
+    st.builds(
+        SLOSection,
+        tiers=st.dictionaries(
+            st.sampled_from(["interactive", "batch", "default"]),
+            _slo_targets,
+            min_size=1,
+            max_size=3,
+        ),
     ),
 )
 
@@ -410,6 +543,7 @@ def scenario_specs(draw):
         placement=placement,
         async_=draw(_async_sections),
         autoscaler=autoscaler,
+        slo=draw(_slo_sections),
         settings=draw(_settings),
     )
 

@@ -10,6 +10,7 @@ from repro.simulator.placement import (
     BestFitPlacement,
     GreedyFirstFitPlacement,
     PoolAffinityPlacement,
+    PrefillDecodePlacement,
     available_placement_policies,
     create_placement_policy,
 )
@@ -114,6 +115,55 @@ class TestPoolAffinity:
         cluster = two_llm_pool_cluster()
         policy = PoolAffinityPlacement(lambda task: "h800-does-not-exist")
         assert policy.select_pool(cluster, llm_task()).name == "gpu-a"
+
+
+class TestPrefillDecode:
+    def disaggregated_cluster(self):
+        return Cluster(
+            pools=[
+                PoolSpec("cpu", TaskType.REGULAR, 4),
+                PoolSpec("pre", TaskType.LLM, 1, max_batch_size=4, role="prefill"),
+                PoolSpec("dec", TaskType.LLM, 1, max_batch_size=4, role="decode"),
+            ]
+        )
+
+    def token_llm_task(self, work=2.0, prefill=0.5):
+        task = llm_task(work=work)
+        task.set_token_model(prompt_tokens=64, output_tokens=32, prefill_work=prefill)
+        return task
+
+    def test_fresh_request_routes_to_prefill_pool(self):
+        policy = PrefillDecodePlacement()
+        pool = policy.select_pool(self.disaggregated_cluster(), self.token_llm_task())
+        assert pool.name == "pre"
+
+    def test_prefill_complete_request_routes_to_decode_pool(self):
+        policy = PrefillDecodePlacement()
+        task = self.token_llm_task(prefill=0.5)
+        task.progress = 0.6  # past the prefill boundary
+        pool = policy.select_pool(self.disaggregated_cluster(), task)
+        assert pool.name == "dec"
+
+    def test_work_conserving_falls_back_to_opposite_role(self):
+        cluster = self.disaggregated_cluster()
+        policy = PrefillDecodePlacement()
+        for _ in range(4):
+            cluster.pool("pre").assign(self.token_llm_task(), 0.0)
+        # Prefill pool full: a fresh request still lands (on the decode pool)
+        # rather than going unplaced.
+        assert policy.select_pool(cluster, self.token_llm_task()).name == "dec"
+
+    def test_non_token_task_uses_first_fit(self):
+        policy = PrefillDecodePlacement()
+        cluster = self.disaggregated_cluster()
+        assert policy.select_pool(cluster, llm_task()).name == "pre"
+        assert policy.select_pool(cluster, regular_task()).name == "cpu"
+
+    def test_registered_in_factory(self):
+        assert "prefill_decode" in available_placement_policies()
+        assert isinstance(
+            create_placement_policy("prefill_decode"), PrefillDecodePlacement
+        )
 
 
 class TestEngineIntegration:

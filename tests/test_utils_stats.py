@@ -12,6 +12,7 @@ from repro.utils.stats import (
     histogram_probabilities,
     pearson_correlation,
     pearson_correlation_matrix,
+    percentile_summary,
     summarize,
 )
 
@@ -119,3 +120,29 @@ class TestSummarize:
         assert summary["mean"] == pytest.approx(2.0)
         assert summary["min"] == 1.0
         assert summary["max"] == 3.0
+
+
+class TestPercentileSummary:
+    def test_empty_is_nan_with_zero_count(self):
+        summary = percentile_summary([])
+        assert summary["count"] == 0.0
+        assert math.isnan(summary["mean"]) and math.isnan(summary["p95"])
+
+    def test_matches_numpy(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        summary = percentile_summary(values)
+        assert summary["count"] == 5.0
+        assert summary["mean"] == pytest.approx(5.0)
+        for q, key in ((50, "p50"), (95, "p95"), (99, "p99")):
+            assert summary[key] == pytest.approx(np.percentile(values, q))
+
+    def test_non_integer_percentile_key(self):
+        summary = percentile_summary([1.0, 2.0], percentiles=(99.9,))
+        assert "p99.9" in summary
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_percentiles_bounded_by_extremes(self, values):
+        summary = percentile_summary(values)
+        assert min(values) - 1e-6 <= summary["p50"] <= max(values) + 1e-6
+        assert summary["p50"] <= summary["p95"] + 1e-6 <= summary["p99"] + 2e-6

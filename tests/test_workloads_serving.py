@@ -1,0 +1,188 @@
+"""Token-model workload tests: seeded sampling, pure decomposition, serving
+accounting invariants — and the tentpole opt-in guarantee: attaching the
+token model leaves every incumbent scheduler's golden trace bit-identical,
+because prefill/decode is a pure decomposition of the existing ``work`` and
+token events are observation only.
+"""
+
+import json
+
+import pytest
+
+from repro.dag.task import TaskType
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import SimulationEngine
+from repro.workloads.mixtures import generate_workload
+from repro.workloads.serving import (
+    DEFAULT_SLO_TARGETS,
+    TOKEN_MIXES,
+    attach_token_model,
+    available_token_mixes,
+)
+
+# Reuse the golden harness (same workload draw, cluster, scheduler builds)
+# so the token-enabled runs are compared against the *committed* traces.
+from test_golden_traces import (
+    CLUSTER,
+    GOLDEN_DIR,
+    SCHEDULER_NAMES,
+    SPEC,
+    make_scheduler,
+)
+from repro.core.profiler import BayesianProfiler
+from repro.schedulers.priors import ApplicationPriors
+from repro.workloads.mixtures import default_applications
+
+
+@pytest.fixture(scope="module")
+def applications():
+    return default_applications()
+
+
+@pytest.fixture(scope="module")
+def priors(applications):
+    return ApplicationPriors.from_applications(applications.values(), n_samples=40, seed=9)
+
+
+@pytest.fixture(scope="module")
+def profiler(applications):
+    profiler = BayesianProfiler()
+    profiler.fit(applications.values(), n_profile_jobs=40, seed=9)
+    return profiler
+
+
+def llm_tasks(jobs):
+    return [
+        task
+        for job in jobs
+        for stage in job.stages.values()
+        for task in stage.tasks
+        if task.task_type is TaskType.LLM
+    ]
+
+
+class TestTokenModel:
+    def test_available_mixes(self):
+        assert set(available_token_mixes()) == set(TOKEN_MIXES) >= {
+            "chat",
+            "batch",
+            "agentic",
+        }
+        for tier, targets in DEFAULT_SLO_TARGETS.items():
+            assert set(targets) <= {"ttft", "tpot"}
+            assert all(v > 0 for v in targets.values()), tier
+
+    def test_attach_unknown_mix_raises(self):
+        jobs = generate_workload(SPEC)
+        with pytest.raises(ValueError, match="chat"):
+            attach_token_model(jobs, "bogus-mix")
+
+    def test_attach_is_deterministic(self, applications):
+        def draw(seed):
+            jobs = generate_workload(SPEC, applications=applications)
+            attach_token_model(jobs, "chat", seed=seed)
+            return [
+                (t.prompt_tokens, t.output_tokens, t.prefill_work)
+                for t in llm_tasks(jobs)
+            ]
+
+        assert draw(5) == draw(5)
+        assert draw(5) != draw(6)
+
+    def test_attach_is_pure_decomposition(self, applications):
+        jobs = generate_workload(SPEC, applications=applications)
+        baseline_work = [t.work for t in llm_tasks(jobs)]
+        attach_token_model(jobs, "agentic", seed=3)
+        tasks = llm_tasks(jobs)
+        assert [t.work for t in tasks] == baseline_work  # work untouched
+        for task in tasks:
+            assert task.has_token_model
+            # The executor still advances the original float `work` — the
+            # phases are a view over it (decode_work := work - prefill_work),
+            # which is what keeps legacy traces bit-identical.
+            assert task.prefill_work + task.decode_work == pytest.approx(
+                task.work, rel=1e-12
+            )
+            assert 0.0 <= task.prefill_work <= task.work
+            assert task.prompt_tokens >= 1
+            assert task.output_tokens >= 1
+        tiers = {job.priority for job in jobs}
+        mix_tiers = {profile.tier for profile, _ in TOKEN_MIXES["agentic"]}
+        assert tiers <= mix_tiers | {"default"}
+
+
+class TestGoldenIdentityWithTokens:
+    """Token model attached, schedulers unchanged => traces unchanged."""
+
+    @pytest.mark.parametrize("name", SCHEDULER_NAMES)
+    def test_token_enabled_trace_matches_golden(
+        self, name, priors, profiler, applications
+    ):
+        jobs = generate_workload(SPEC, applications=applications)
+        attach_token_model(jobs, "chat", seed=3)
+        engine = SimulationEngine(
+            jobs,
+            make_scheduler(name, priors, profiler),
+            cluster=Cluster(CLUSTER),
+            workload_name=SPEC.workload_type.value,
+        )
+        engine.metrics.slo_targets = {t: dict(v) for t, v in DEFAULT_SLO_TARGETS.items()}
+        metrics = engine.run()
+        golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        assert dict(sorted(metrics.job_completion_times.items())) == golden["jct"]
+        assert metrics.makespan == golden["makespan"]
+        assert metrics.num_tasks_executed == golden["num_tasks_executed"]
+        # ...and the run now carries serving samples on top.
+        assert metrics.has_serving_samples
+
+
+class TestServingAccountingInvariants:
+    @pytest.fixture(scope="class")
+    def finished_run(self, applications):
+        jobs = generate_workload(SPEC, applications=applications)
+        attach_token_model(jobs, "chat", seed=3)
+        engine = SimulationEngine(
+            jobs,
+            make_scheduler("fcfs", None, None),
+            cluster=Cluster(CLUSTER),
+        )
+        engine.metrics.slo_targets = {t: dict(v) for t, v in DEFAULT_SLO_TARGETS.items()}
+        metrics = engine.run()
+        return jobs, metrics
+
+    def test_tokens_out_equal_tokens_sampled_over_executed_tasks(self, finished_run):
+        jobs, metrics = finished_run
+        executed = [
+            t
+            for t in llm_tasks(jobs)
+            if t.has_token_model and t.finish_time is not None
+        ]
+        summary = metrics.serving_summary()
+        assert summary["num_requests"] == len(executed) > 0
+        assert summary["total_output_tokens"] == sum(t.output_tokens for t in executed)
+        assert summary["total_prompt_tokens"] == sum(t.prompt_tokens for t in executed)
+
+    def test_ttft_at_least_queue_plus_prefill(self, finished_run):
+        jobs, metrics = finished_run
+        for request in metrics.serving_requests:
+            assert request["ttft"] >= 0.0
+            assert request["first_token_time"] >= request["ready_time"]
+            if request["tpot"] is not None:
+                assert request["tpot"] >= 0.0
+        # Executors never run faster than speed 1, so the first token can
+        # never beat the request's own prefill work.
+        for task in llm_tasks(jobs):
+            if task.first_token_time is None or not task.has_token_model:
+                continue
+            assert (
+                task.first_token_time - task.ready_time >= task.prefill_work - 1e-9
+            )
+
+    def test_serving_summary_goodput_within_bounds(self, finished_run):
+        _, metrics = finished_run
+        summary = metrics.serving_summary()
+        assert 0.0 <= summary["goodput_overall"] <= 1.0
+        for tier, value in summary["goodput"].items():
+            assert 0.0 <= value <= 1.0, tier
+        assert summary["tps_per_gpu"] > 0.0
+        assert summary["tps_per_user"] > 0.0
