@@ -23,6 +23,14 @@ build when they regress against the committed snapshots in
   compare two runs on the same host, so they are gated by the ratio alone,
   without machine normalization.
 
+Baselines resolve through the content-addressed run store when
+``benchmarks/baselines/store/`` exists (the committed records are the
+source of truth; the BENCH-shaped views are reconstructed via
+``repro.store.report``), falling back to the legacy flat
+``benchmarks/baselines/BENCH_*.json`` snapshots otherwise — so the gate
+works against either layout, and a tampered store record surfaces as
+golden drift.
+
 Exit code 0 = no regression; 1 = regression (every violation is printed).
 """
 
@@ -33,7 +41,7 @@ import json
 import os
 import sys
 import time
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 #: Path components whose leaves are deterministic simulation output and
 #: must match the baseline exactly.
@@ -65,6 +73,37 @@ IGNORED_KEYS = ("elapsed_sec", "scale", "wall_clock_sec", "seed", "schema_versio
 
 CALIBRATION_FILE = "calibration.json"
 CALIBRATION_LOOP = 2_000_000
+
+
+def load_baselines(
+    baseline_dir: str, store_dir: Optional[str] = None
+) -> Tuple[Dict[str, Dict], str]:
+    """Baseline payloads keyed by BENCH filename, plus which view served them.
+
+    The run store (``store_dir``, default ``<baseline_dir>/store``) wins when
+    it exists: the BENCH-shaped views are reconstructed from its records, so
+    the committed provenance-stamped store is the single source of golden
+    truth.  Without one, the legacy flat snapshots are read directly.
+    """
+    store_dir = store_dir or os.path.join(baseline_dir, "store")
+    if os.path.isdir(os.path.join(store_dir, "records")):
+        # CI invokes this script without PYTHONPATH; make repro importable.
+        src_root = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        if src_root not in sys.path:
+            sys.path.insert(0, src_root)
+        from repro.store.report import bench_artifacts
+        from repro.store.store import RunStore
+
+        return dict(bench_artifacts(RunStore(store_dir))), f"store:{store_dir}"
+
+    flat: Dict[str, Dict] = {}
+    for filename in sorted(os.listdir(baseline_dir)):
+        if filename.startswith("BENCH_") and filename.endswith(".json"):
+            with open(os.path.join(baseline_dir, filename)) as handle:
+                flat[filename] = json.load(handle)
+    return flat, f"flat:{baseline_dir}"
 
 
 def measure_machine_speed(repeats: int = 3) -> float:
@@ -169,6 +208,12 @@ def main(argv=None) -> int:
         help="directory holding the freshly generated BENCH_*.json files",
     )
     parser.add_argument(
+        "--baseline-store",
+        default=None,
+        help="run-store directory serving the baselines "
+        "(default: <baseline-dir>/store when it exists; flat files otherwise)",
+    )
+    parser.add_argument(
         "--min-throughput-ratio",
         type=float,
         default=0.75,
@@ -195,19 +240,14 @@ def main(argv=None) -> int:
         f"current {current_speed:.0f} ops/s (factor {speed_factor:.2f})"
     )
 
-    bench_files = sorted(
-        f
-        for f in os.listdir(args.baseline_dir)
-        if f.startswith("BENCH_") and f.endswith(".json")
-    )
-    if not bench_files:
+    baselines, baseline_view = load_baselines(args.baseline_dir, args.baseline_store)
+    if not baselines:
         print(f"no BENCH_*.json baselines under {args.baseline_dir}", file=sys.stderr)
         return 1
+    print(f"baselines: {len(baselines)} file(s) via {baseline_view}")
 
     failures: List[str] = []
-    for filename in bench_files:
-        with open(os.path.join(args.baseline_dir, filename)) as handle:
-            baseline = json.load(handle)
+    for filename, baseline in sorted(baselines.items()):
         current_path = os.path.join(args.current_dir, filename)
         if not os.path.exists(current_path):
             failures.append(f"{filename}: not generated (expected at {current_path})")

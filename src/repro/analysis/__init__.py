@@ -1,4 +1,4 @@
-"""Project-specific static analysis: the invariant linter (REP001-REP007).
+"""Project-specific static analysis: the invariant linter (REP001-REP008).
 
 Usage::
 
@@ -29,6 +29,9 @@ REP006    single-snapshot-site        SchedulingContext.snapshot() only at the
 REP007    token-phase-ownership       token-phase fields (prompt/output tokens,
                                       prefill_work, ready_time, first_token_time)
                                       written only by task/stage/executor
+REP008    provenance-ownership        record identity (spec_hash, record_id) is
+                                      derived from canonical content and written
+                                      only inside repro/store/
 ========  ==========================  ==============================================
 
 Suppress a finding with ``# repro: <CODE>-exempt -- justification`` on the

@@ -10,8 +10,9 @@ these; before this pass they were enforced by code review and caught (late)
 by golden-trace divergence.
 
 This module is the framework; the rules live in :mod:`rules_cow`,
-:mod:`rules_determinism`, :mod:`rules_hygiene` and :mod:`rules_token`, and
-the command-line front end in :mod:`cli` (``python -m repro.analysis``).
+:mod:`rules_determinism`, :mod:`rules_hygiene`, :mod:`rules_token` and
+:mod:`rules_provenance`, and the command-line front end in :mod:`cli`
+(``python -m repro.analysis``).
 
 Suppression pragmas
 -------------------
@@ -239,6 +240,7 @@ def _ensure_rules_loaded() -> None:
         rules_cow,
         rules_determinism,
         rules_hygiene,
+        rules_provenance,
         rules_token,
     )
 

@@ -1,0 +1,76 @@
+"""REP008: provenance fields have exactly one writer — ``repro/store/``.
+
+The run store's trust model (ISSUE 10) is that a record's identity is
+*derived*, never assigned: ``record_id`` is the SHA-256 of the record's
+canonical content, and ``spec_hash`` comes from
+``ScenarioSpec.content_hash()`` inside the store layer.  Code elsewhere
+that writes these fields — stamping a ``spec_hash`` onto some object,
+patching a ``record_id`` — forges provenance: the regression gate and the
+README/BENCH regeneration would then vouch for numbers whose origin was
+asserted rather than computed.  REP008 restricts raw writes to the store
+subsystem (and its tests/fixtures, which are outside ``src/repro``);
+everyone else treats provenance as read-only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, Module, Rule, register_rule
+
+__all__ = ["ProvenanceMutationRule"]
+
+#: The record-identity fields whose writes are ownership-restricted.
+PROVENANCE_ATTRS = {
+    "spec_hash",
+    "record_id",
+}
+
+
+@register_rule
+class ProvenanceMutationRule(Rule):
+    """Provenance attribute writes only inside ``repro/store/``."""
+
+    code = "REP008"
+    name = "provenance-ownership"
+    summary = (
+        "spec_hash/record_id are written only inside repro/store/ (identity "
+        "is derived from canonical content, never assigned); other code "
+        "reads records or goes through RunStore"
+    )
+
+    def applies(self, module: Module) -> bool:
+        in_store = "repro/store/" in module.scope_path.as_posix()
+        return module.in_src_repro and not in_store
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            else:
+                continue
+            for target in targets:
+                # Walk the whole target so tuple-unpacking writes
+                # (``a, rec.spec_hash = ...``) are caught too.
+                for sub in ast.walk(target):
+                    if not isinstance(sub, ast.Attribute):
+                        continue
+                    if sub.attr not in PROVENANCE_ATTRS:
+                        continue
+                    findings.append(
+                        self.finding(
+                            module,
+                            sub,
+                            f"write to provenance field `{ast.unparse(sub)}` "
+                            "outside repro/store/; record identity is derived "
+                            "from canonical content — construct a RunRecord "
+                            "instead of assigning its hash",
+                        )
+                    )
+        return findings

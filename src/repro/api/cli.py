@@ -20,6 +20,9 @@ Subcommands
 ``list-schedulers``
     Print every scheduler name :func:`repro.api.run` accepts, plus the
     available placement policies and job routers.
+``store ingest|list|query|diff|report``
+    The content-addressed run store (see :mod:`repro.store.cli`); ``run``
+    and ``grid`` also take ``--store DIR`` to record their Results.
 """
 
 from __future__ import annotations
@@ -36,6 +39,9 @@ from repro.api.spec import SCHEMA_VERSION, ScenarioSpec, SpecError
 from repro.schedulers.registry import available_schedulers
 from repro.simulator.federation import available_job_routers
 from repro.simulator.placement import available_placement_policies
+from repro.store.cli import add_store_parser
+from repro.store.report import ReportError
+from repro.store.store import StoreError
 
 __all__ = ["main", "pareto_rows"]
 
@@ -86,7 +92,7 @@ def _summarize(result: Result, label: str = "") -> str:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
-    result = run_spec(spec)
+    result = run_spec(spec, store=args.store)
     print(_summarize(result))
     if args.output:
         with open(args.output, "w") as handle:
@@ -100,7 +106,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     axes = _parse_axes(args.axis or [])
     if not axes:
         raise SpecError("grid needs at least one --axis dotted.path=value1,value2,...")
-    rows = run_grid(spec, axes, processes=args.processes)
+    rows = run_grid(spec, axes, processes=args.processes, store=args.store)
     for overrides, result in rows:
         label = ", ".join(f"{k}={v}" for k, v in overrides.items())
         print(_summarize(result, label=label))
@@ -243,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--no-spec", action="store_true", help="omit the resolved spec from --output"
     )
+    p_run.add_argument(
+        "--store", metavar="DIR", help="record the Result into this run store"
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_grid = sub.add_parser("grid", help="run a grid of override axes over one spec")
@@ -257,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--output", help="write all grid Results as JSON here")
     p_grid.add_argument(
         "--no-spec", action="store_true", help="omit resolved specs from --output"
+    )
+    p_grid.add_argument(
+        "--store", metavar="DIR", help="record every cell Result into this run store"
     )
     p_grid.set_defaults(func=_cmd_grid)
 
@@ -288,6 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
         "list-schedulers", help="list scheduler / placement / router names"
     )
     p_list.set_defaults(func=_cmd_list_schedulers)
+
+    add_store_parser(sub)
     return parser
 
 
@@ -296,9 +310,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ValueError as exc:
-        # SpecError and the run-time resolution errors (e.g. an unsplittable
-        # shard count) are all ValueErrors with actionable messages.
+    except (ValueError, StoreError, ReportError) as exc:
+        # SpecError, the run-time resolution errors (e.g. an unsplittable
+        # shard count) and the store/report failures all carry actionable
+        # messages.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -119,6 +119,7 @@ def run(
     autoscaler: Optional[ThresholdAutoscaler] = None,
     router: Optional[JobRouter] = None,
     async_config: Optional[AsyncConfig] = None,
+    store=None,
 ) -> Result:
     """Run one scenario and return its uniform :class:`Result`.
 
@@ -127,6 +128,12 @@ def run(
     ones (e.g. from a sweep worker's cache) skips that work without
     changing the simulation.  The live-object overrides supersede their
     declarative sections (see module docstring).
+
+    ``store`` — a :class:`repro.store.RunStore` (or a path to one) — makes
+    the run self-recording: the finished :class:`Result` persists as a
+    content-addressed record before this returns.  The record's identity
+    hash excludes wall-clock fields, so re-running the same spec + seed
+    deduplicates instead of accumulating near-duplicates.
     """
     spec.validate()
     # Live-object overrides that the selected engine would never consult are
@@ -170,9 +177,16 @@ def run(
             resolved, applications, priors, profiler, placement, autoscaler, async_config
         )
     wall_clock = time.perf_counter() - started  # repro: REP003-exempt -- meters the Result wall-clock field, outside the simulation
-    return Result(
+    result = Result(
         spec=resolved, metrics=metrics, seed=spec.workload.seed, wall_clock_sec=wall_clock
     )
+    if store is not None:
+        from repro.store import RunStore  # lazy: repro.store imports api.spec
+
+        if not isinstance(store, RunStore):
+            store = RunStore(store)
+        store.add_result(result)
+    return result
 
 
 def _run_single(spec, applications, priors, profiler, placement, autoscaler, async_config):

@@ -68,6 +68,17 @@ def _worker_state(settings: ExperimentSettings) -> dict:
 
 
 def _run_spec(spec: ScenarioSpec) -> Result:
+    return _run_spec_item((spec, None))
+
+
+def _run_spec_item(item: Tuple[ScenarioSpec, Optional[str]]) -> Result:
+    """Picklable worker: run one cell, optionally recording into a store.
+
+    The store travels as its root *path* (each worker re-opens it), and the
+    store's atomic record writes + ``O_APPEND`` journal make concurrent
+    ingestion from many workers safe without any cross-process lock.
+    """
+    spec, store_root = item
     state = _worker_state(spec.settings)
     requirements = scheduler_requirements(spec.scheduler.name)
     if "priors" in requirements and "priors" not in state:
@@ -79,6 +90,7 @@ def _run_spec(spec: ScenarioSpec) -> Result:
         applications=state["applications"],
         priors=state.get("priors"),
         profiler=state.get("profiler"),
+        store=store_root,
     )
 
 
@@ -100,27 +112,47 @@ def _map_cells(worker: Callable, payload: Sequence, processes: Optional[int]) ->
         return [worker(item) for item in payload]
 
 
+def _store_root(store) -> Optional[str]:
+    """Normalize a ``store=`` argument (RunStore or path) to a path string."""
+    if store is None:
+        return None
+    root = getattr(store, "root", store)
+    return str(root)
+
+
 def run_specs(
-    specs: Sequence[ScenarioSpec], processes: Optional[int] = None
+    specs: Sequence[ScenarioSpec],
+    processes: Optional[int] = None,
+    *,
+    store=None,
 ) -> List[Result]:
-    """Run scenarios in order, fanned out over worker processes."""
+    """Run scenarios in order, fanned out over worker processes.
+
+    ``store`` (a :class:`repro.store.RunStore` or path) records every cell's
+    :class:`Result` from inside the worker that ran it — concurrent workers
+    ingest safely via the store's atomic writes and append-only journal.
+    """
     if not specs:
         return []
-    return _map_cells(_run_spec, list(specs), processes)
+    root = _store_root(store)
+    return _map_cells(_run_spec_item, [(spec, root) for spec in specs], processes)
 
 
 def run_grid(
     base_spec: ScenarioSpec,
     axes: Mapping[str, Sequence[object]],
     processes: Optional[int] = None,
+    *,
+    store=None,
 ) -> List[GridRow]:
     """Run the cartesian product of override axes over ``base_spec``.
 
     Returns one ``(overrides, result)`` row per cell, in expansion order.
     Every cell is an independent simulation; cells sharing a workload
     section see the identical job draw, so grouping rows by any axis
-    yields fair comparisons along the others.
+    yields fair comparisons along the others.  ``store`` records each
+    cell's Result as it completes (see :func:`run_specs`).
     """
     cells = expand_axes(base_spec, axes)
-    results = run_specs([spec for _, spec in cells], processes=processes)
+    results = run_specs([spec for _, spec in cells], processes=processes, store=store)
     return [(overrides, result) for (overrides, _), result in zip(cells, results, strict=True)]

@@ -28,6 +28,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.api.prep import ExperimentSettings
 from repro.core.llmsched import LLMSchedConfig
+from repro.utils.canonical import content_hash
 from repro.dag.task import TaskType
 from repro.schedulers.registry import check_scheduler_kwargs
 from repro.simulator.async_sched import (
@@ -868,6 +869,19 @@ class ScenarioSpec:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    def content_hash(self) -> str:
+        """SHA-256 of the *canonical* serialized tree: the spec's identity.
+
+        The hash is computed over :meth:`to_dict` rendered as canonical JSON
+        (recursively sorted keys, fixed separators, shortest-round-trip float
+        repr — see :mod:`repro.utils.canonical`), so equal specs hash equally
+        regardless of dict insertion order or the formatting of any JSON file
+        they round-tripped through: ``from_dict(to_dict(s)).content_hash()
+        == s.content_hash()`` is a tested property.  This is the ``spec_hash``
+        every :mod:`repro.store` record carries as provenance.
+        """
+        return content_hash(self.to_dict())
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":

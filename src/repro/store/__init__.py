@@ -1,0 +1,36 @@
+"""``repro.store`` — a content-addressed run store with provenance.
+
+Every experiment run (a :class:`~repro.api.results.Result`) or benchmark
+summary section persists as one frozen
+:class:`~repro.store.record.RunRecord` whose id is the SHA-256 of its
+deterministic content — wall-clock-derived leaves are segregated so the
+same seeded scenario hashes identically on any machine.  A
+:class:`~repro.store.store.RunStore` keeps records in sharded,
+atomically-written JSON files with an append-only journal (safe for
+concurrent ``run_grid`` workers) and a rebuildable index;
+:mod:`repro.store.query` answers filter/group/latest/pareto questions and
+:mod:`repro.store.report` regenerates the README tables and BENCH_*.json
+artifacts byte-for-byte from store contents alone.
+
+CLI: ``python -m repro store ingest|list|query|diff|report``.
+"""
+
+from repro.store.record import (
+    RecordError,
+    RunRecord,
+    is_timing_leaf,
+    merge_timing,
+    split_timing,
+)
+from repro.store.store import STORE_FORMAT_VERSION, RunStore, StoreError
+
+__all__ = [
+    "RecordError",
+    "RunRecord",
+    "RunStore",
+    "StoreError",
+    "STORE_FORMAT_VERSION",
+    "is_timing_leaf",
+    "merge_timing",
+    "split_timing",
+]

@@ -1,0 +1,166 @@
+"""Pure-function queries over :class:`~repro.store.record.RunRecord` lists.
+
+Everything here takes records (or a :class:`~repro.store.store.RunStore`)
+and returns plain data — no I/O, no mutation — so the same queries serve
+the CLI, the report generator, and the regression gate's store view.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.store.record import RunRecord
+
+__all__ = [
+    "filter_records",
+    "group_records",
+    "latest_per_key",
+    "pareto_front",
+    "metric_of",
+]
+
+_FIELD_FILTERS = (
+    "kind",
+    "spec_hash",
+    "seed",
+    "scheduler",
+    "schema_version",
+    "bench_file",
+    "section",
+    "label",
+)
+
+
+def _resolve(store_or_records) -> List[RunRecord]:
+    from repro.store.store import RunStore  # lazy: store imports query lazily too
+
+    if isinstance(store_or_records, RunStore):
+        return store_or_records.records()
+    return list(store_or_records)
+
+
+def filter_records(
+    store_or_records,
+    *,
+    predicate: Optional[Callable[[RunRecord], bool]] = None,
+    **fields: object,
+) -> List[RunRecord]:
+    """Records matching every given field value (and the optional predicate).
+
+    ``spec_hash`` matches on any unambiguous prefix, so CLI users can pass
+    the short ids printed by ``repro store list``.
+    """
+    unknown = set(fields) - set(_FIELD_FILTERS)
+    if unknown:
+        raise ValueError(
+            f"unknown filter field(s) {sorted(unknown)}; "
+            f"expected one of {list(_FIELD_FILTERS)}"
+        )
+    out = []
+    for record in _resolve(store_or_records):
+        for name, wanted in fields.items():
+            have = getattr(record, name)
+            if name == "spec_hash" and isinstance(wanted, str) and isinstance(have, str):
+                if not have.startswith(wanted):
+                    break
+            elif have != wanted:
+                break
+        else:
+            # Field filters narrow first, so the predicate only sees records
+            # whose optional fields it can assume (e.g. kind="result" labels).
+            if predicate is None or predicate(record):
+                out.append(record)
+    return out
+
+
+def group_records(
+    store_or_records, key: Callable[[RunRecord], object] | str
+) -> Dict[object, List[RunRecord]]:
+    """Group records by a field name or key function (insertion-ordered)."""
+    key_fn = (lambda r, _name=key: getattr(r, _name)) if isinstance(key, str) else key
+    groups: Dict[object, List[RunRecord]] = {}
+    for record in _resolve(store_or_records):
+        groups.setdefault(key_fn(record), []).append(record)
+    return groups
+
+
+def latest_per_key(
+    store_or_records, *, order: Optional[Mapping[str, int]] = None
+) -> List[RunRecord]:
+    """One record per :attr:`~RunRecord.dedup_key` — the newest version.
+
+    ``order`` maps record_id to ingest position (a store's journal order);
+    records absent from it rank oldest, in record-id order, so a lost
+    journal degrades to a deterministic choice instead of an error.
+    """
+    order = order or {}
+
+    def rank(record: RunRecord) -> Tuple[int, int, str]:
+        known = record.record_id in order
+        return (1 if known else 0, order.get(record.record_id, -1), record.record_id)
+
+    chosen: Dict[Tuple[object, ...], RunRecord] = {}
+    for record in _resolve(store_or_records):
+        incumbent = chosen.get(record.dedup_key)
+        if incumbent is None or rank(record) > rank(incumbent):
+            chosen[record.dedup_key] = record
+    return sorted(chosen.values(), key=lambda r: r.record_id)
+
+
+def metric_of(record: RunRecord, metric: str) -> Optional[float]:
+    """A dotted-path scalar out of a record's merged payload.
+
+    ``metric_of(r, "metrics.average_jct")`` walks the payload; bare names
+    are tried under ``metrics.`` first, then at the top level.
+    """
+    payload = record.merged_payload()
+    for path in (metric, f"metrics.{metric}") if "." not in metric else (metric,):
+        node: object = payload
+        for part in path.split("."):
+            if isinstance(node, Mapping) and part in node:
+                node = node[part]
+            else:
+                break
+        else:
+            if isinstance(node, (int, float)) and not isinstance(node, bool):
+                return float(node)
+    return None
+
+
+def pareto_front(
+    store_or_records,
+    objectives: Sequence[str],
+    *,
+    maximize: Sequence[bool] | None = None,
+) -> List[Tuple[RunRecord, Tuple[float, ...]]]:
+    """Records on the Pareto front of the given metric objectives.
+
+    Records missing any objective are excluded.  ``maximize`` defaults to
+    all-True; pass ``False`` per objective to minimize it (e.g. JCT).
+    Returns ``(record, objective_values)`` pairs sorted by record id.
+    """
+    if maximize is None:
+        maximize = [True] * len(objectives)
+    if len(maximize) != len(objectives):
+        raise ValueError("maximize must match objectives in length")
+
+    scored: List[Tuple[RunRecord, Tuple[float, ...]]] = []
+    for record in _resolve(store_or_records):
+        values = [metric_of(record, objective) for objective in objectives]
+        if any(v is None for v in values):
+            continue
+        oriented = tuple(
+            v if up else -v for v, up in zip(values, maximize, strict=True)
+        )
+        scored.append((record, oriented))
+
+    front = []
+    for record, oriented in scored:
+        dominated = any(
+            all(o >= s for o, s in zip(other, oriented, strict=True)) and other != oriented
+            for _, other in scored
+        )
+        if not dominated:
+            values = tuple(v if up else -v for v, up in zip(oriented, maximize, strict=True))
+            front.append((record, values))
+    return sorted(front, key=lambda pair: pair[0].record_id)

@@ -1,0 +1,36 @@
+"""Canonical JSON: one byte representation per value, for content hashing.
+
+Two equal spec trees must hash identically no matter how their dicts were
+built, so the canonical form fixes everything ``json.dumps`` leaves to the
+caller: keys sorted recursively, separators without whitespace, ASCII-only
+escapes, and ``allow_nan=False`` (NaN breaks the equality semantics a
+content hash exists to provide — ``nan != nan`` — so it is rejected rather
+than serialized).  Floats use Python's shortest-round-trip ``repr``, which
+is injective on distinct doubles, so value equality and byte equality
+coincide for everything a :class:`~repro.api.spec.ScenarioSpec` or
+:class:`~repro.api.results.Result` serializes.
+
+This module is the hashing substrate of :meth:`ScenarioSpec.content_hash`
+and of :mod:`repro.store`'s content-addressed records; pretty-printed
+output (``to_json``, the BENCH files) stays human-indented — only the
+*hash* goes through the canonical form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_json", "content_hash"]
+
+
+def canonical_json(obj: object) -> str:
+    """The canonical (sorted, compact, ASCII, NaN-free) JSON encoding."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True, allow_nan=False
+    )
+
+
+def content_hash(obj: object) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

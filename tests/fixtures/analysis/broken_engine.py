@@ -1,8 +1,8 @@
 # repro: lint-as=src/repro/simulator/engine.py
-"""The gate-bites fixture: one seeded violation for each of REP001-REP007.
+"""The gate-bites fixture: one seeded violation for each of REP001-REP008.
 
 ``tests/test_analysis_rules.py`` asserts the analyzer reports *exactly* the
-seven codes on this file; if a rule rots and stops firing here, tier 1 fails.
+eight codes on this file; if a rule rots and stops firing here, tier 1 fails.
 """
 
 import copy
@@ -24,4 +24,5 @@ class _BrokenEngine:
         ready = {task.key() for task in context.tasks}
         ordered = [task for task in ready]  # REP005: set iteration
         context.head.first_token_time = started  # REP007: token-phase write
+        context.record.spec_hash = "deadbeef"  # REP008: forged provenance
         return rng, started, plan, frozen, ordered

@@ -1,0 +1,18 @@
+# repro: lint-as=src/repro/api/results.py
+"""REP008-clean: provenance is read freely; identity is derived, not assigned."""
+
+
+def short_id(record):
+    return record.record_id[:12]
+
+
+def same_run(record, spec):
+    # Reading provenance fields (and computing hashes) is fine anywhere.
+    return record.spec_hash == spec.content_hash()
+
+
+def local_shadow(spec):
+    # Plain names (no attribute access) are not provenance state.
+    spec_hash = spec.content_hash()
+    record_id = spec_hash[:8]
+    return record_id

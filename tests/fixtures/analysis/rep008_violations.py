@@ -1,0 +1,15 @@
+# repro: lint-as=src/repro/api/results.py
+"""REP008 violations: provenance writes outside repro/store/."""
+
+
+def forge_identity(record, digest):
+    record.spec_hash = digest  # asserted, not derived from canonical content
+    record.record_id = digest[:12]  # forges the content address
+
+
+def patch_hash(record):
+    record.spec_hash += "00"
+
+
+def relabel(record, rid, out):
+    out, record.record_id = rid, rid  # tuple-unpacking write still counts

@@ -90,6 +90,7 @@ class TestSelection:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
         ]
 
     def test_unknown_select_code_raises(self):
@@ -162,6 +163,7 @@ class TestReport:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
         }
         for finding in payload["findings"]:
             assert set(finding) == {"code", "path", "line", "col", "message"}

@@ -1,4 +1,4 @@
-"""Rule-by-rule tests for the REP001-REP007 invariants.
+"""Rule-by-rule tests for the REP001-REP008 invariants.
 
 Each rule gets a clean fixture (must stay silent) and a violating fixture
 (pinned finding count), all scoped via ``lint-as`` pragmas.  The broken-engine
@@ -18,7 +18,10 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
 ENGINE = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
 
-ALL_CODES = {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"}
+ALL_CODES = {
+    "REP001", "REP002", "REP003", "REP004",
+    "REP005", "REP006", "REP007", "REP008",
+}
 
 
 def _codes(path, **kwargs):
@@ -38,6 +41,7 @@ def _codes(path, **kwargs):
         ("REP005", 4),
         ("REP006", 1),
         ("REP007", 4),
+        ("REP008", 4),
     ],
 )
 def test_violation_fixture_fires_exactly_its_code(code, expected):
@@ -103,6 +107,17 @@ def test_rep007_sanctioned_writers_allowlisted(tmp_path):
     assert _codes(stray, select=["REP007"]) == {"REP007": 1}
     metrics = _scoped(tmp_path, "m/src/repro/core/metrics.py", body)
     assert _codes(metrics, select=["REP007"]) == {"REP007": 1}
+
+
+def test_rep008_store_subsystem_allowlisted(tmp_path):
+    body = "def seal(record, digest):\n    record.spec_hash = digest\n"
+    for owner in ("store/record.py", "store/store.py", "store/query.py"):
+        path = _scoped(tmp_path, f"own/src/repro/{owner}", body)
+        assert _codes(path, select=["REP008"]) == {}
+    stray = _scoped(tmp_path, "stray/src/repro/api/results.py", body)
+    assert _codes(stray, select=["REP008"]) == {"REP008": 1}
+    sched = _scoped(tmp_path, "s/src/repro/schedulers/base.py", body)
+    assert _codes(sched, select=["REP008"]) == {"REP008": 1}
 
 
 def test_rules_skip_tests_scope(tmp_path):

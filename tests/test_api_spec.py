@@ -564,3 +564,24 @@ def test_spec_roundtrip_is_stable(spec):
     once = spec.to_dict()
     again = ScenarioSpec.from_dict(once).to_dict()
     assert once == again
+
+
+@hyp_settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_spec_content_hash_roundtrip(spec):
+    """The canonical identity survives serialization: ISSUE 10's property.
+
+    ``content_hash`` hashes the *canonical* JSON of ``to_dict()``, so a spec
+    reconstructed from its own serialized form — whatever dict insertion
+    order or JSON whitespace it travelled through — must hash identically,
+    and the hash must be a stable 64-char hex digest.
+    """
+    digest = spec.content_hash()
+    assert len(digest) == 64 and int(digest, 16) >= 0
+    assert ScenarioSpec.from_dict(spec.to_dict()).content_hash() == digest
+    # Formatting-insensitive: a pretty-printed to_json round trip and a
+    # key-order-scrambled dict both land on the same hash.
+    assert ScenarioSpec.from_json(spec.to_json()).content_hash() == digest
+    scrambled = json.loads(json.dumps(spec.to_dict()))
+    scrambled = dict(reversed(list(scrambled.items())))
+    assert ScenarioSpec.from_dict(scrambled).content_hash() == digest

@@ -1,0 +1,156 @@
+"""``python -m repro store ...`` behavior through the real argv entry point."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import main
+from repro.store import RunStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture()
+def ingested(tmp_path):
+    root = tmp_path / "store"
+    rc = main(
+        [
+            "store", "ingest", str(root),
+            str(REPO_ROOT / "BENCH_4.json"),
+            str(REPO_ROOT / "BENCH_6.json"),
+        ]
+    )
+    assert rc == 0
+    return root
+
+
+class TestIngestListQuery:
+    def test_ingest_reports_dedup(self, ingested, capsys):
+        rc = main(["store", "ingest", str(ingested), str(REPO_ROOT / "BENCH_4.json")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0/33 new record(s)" in out
+
+    def test_list(self, ingested, capsys):
+        rc = main(["store", "list", str(ingested)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "record(s)" in out
+        assert "slo_serving_pareto" in out
+
+    def test_query_human(self, ingested, capsys):
+        rc = main(["store", "query", str(ingested), "--kind", "section"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.strip().endswith("matching record(s)")
+
+    def test_query_json_merges_payload(self, ingested, capsys):
+        rc = main(
+            [
+                "store", "query", str(ingested), "--kind", "result",
+                "--label", "fcfs@0s", "--format", "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        (payload,) = json.loads(out)
+        assert payload["label"] == "fcfs@0s"
+        assert "average_jct" in payload["merged_payload"]["metrics"]
+
+    def test_query_verify_flags_tampering(self, ingested, capsys):
+        store = RunStore(ingested)
+        victim = store.record_ids()[0]
+        path = store._record_path(victim)
+        data = json.loads(path.read_text())
+        data["payload"]["tampered"] = True
+        path.write_text(json.dumps(data) + "\n")
+        rc = main(["store", "query", str(ingested), "--verify"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "integrity" in err
+
+
+class TestDiff:
+    def test_diff_identical(self, ingested, capsys):
+        store = RunStore(ingested)
+        rid = store.record_ids()[0]
+        rc = main(["store", "diff", str(ingested), rid, rid])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "identical payloads" in out
+
+    def test_diff_different_records(self, ingested, capsys):
+        store = RunStore(ingested)
+        labels = {r.label: r.record_id for r in store.records() if r.label}
+        rc = main(
+            ["store", "diff", str(ingested),
+             labels["fcfs@0s"][:12], labels["fcfs@5s"][:12]]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1  # differences found
+        assert "metrics.average_jct" in out
+
+    def test_diff_ambiguous_prefix(self, ingested, capsys):
+        rc = main(["store", "diff", str(ingested), "", ""])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "ambiguous" in err
+
+
+class TestReport:
+    def test_report_tables_match_readme(self, ingested, capsys):
+        rc = main(["store", "report", str(ingested)])
+        out = capsys.readouterr().out
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert rc == 0
+        async_table, pareto_table = out.split("\n\n")
+        assert async_table + "\n" in readme
+        assert pareto_table in readme
+
+    def test_report_out_writes_byte_exact_artifacts(self, ingested, tmp_path, capsys):
+        out_dir = tmp_path / "regen"
+        rc = main(
+            ["store", "report", str(ingested), "--table", "none", "--out", str(out_dir)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        for name in ("BENCH_4.json", "BENCH_6.json"):
+            assert (out_dir / name).read_text() == (REPO_ROOT / name).read_text(), name
+
+    def test_report_single_bench_to_stdout(self, ingested, capsys):
+        rc = main(["store", "report", str(ingested), "--table", "none", "--bench", "BENCH_4.json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out == (REPO_ROOT / "BENCH_4.json").read_text()
+
+    def test_report_empty_store_errors(self, tmp_path, capsys):
+        rc = main(["store", "report", str(tmp_path / "nothing"), "--table", "pareto"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "error:" in err
+
+
+class TestRunStoreFlag:
+    def test_run_records_into_store(self, tmp_path, capsys):
+        spec = {
+            "schema_version": 2,
+            "scheduler": {"name": "fcfs"},
+            "workload": {
+                "mode": "closed", "workload_type": "mixed",
+                "num_jobs": 6, "arrival_rate": 1.2, "seed": 7,
+            },
+            "cluster": {"config": {
+                "num_regular_executors": 2, "num_llm_executors": 1,
+                "max_batch_size": 4,
+            }},
+        }
+        spec_path = tmp_path / "tiny.json"
+        spec_path.write_text(json.dumps(spec))
+        root = tmp_path / "store"
+        assert main(["run", str(spec_path), "--store", str(root)]) == 0
+        capsys.readouterr()
+        store = RunStore(root)
+        assert len(store) == 1
+        (record,) = store.records(verify=True)
+        assert record.scheduler == "fcfs" and record.seed == 7
